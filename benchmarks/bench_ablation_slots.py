@@ -1,0 +1,67 @@
+"""Ablation (section 4.2): execution slots vs shard count.
+
+"For a database with S shards, N nodes, and E execution slots per node, a
+running query requires S of the total N*E slots.  If S < E, then adding
+individual nodes will result in linear scale-out performance, otherwise
+batches of nodes will be required and performance improvement will look
+more like a step function."
+
+We sweep node count at fixed S=4 for E=8 (S < E: linear) and E=2 (S > E:
+step function) and report throughput per node count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EonCluster
+from repro.bench.harness import ServiceModel, run_query_throughput
+from repro.bench.reporting import format_series
+
+from conftest import emit
+
+SHARDS = 4
+NODE_COUNTS = [4, 5, 6, 7, 8]
+SERVICE = ServiceModel(work_seconds=0.2, coordination_base=0.002,
+                       coordination_per_node=0.0005)
+
+
+def _throughputs(slots: int):
+    values = []
+    for n in NODE_COUNTS:
+        cluster = EonCluster(
+            [f"n{i}" for i in range(n)], shard_count=SHARDS,
+            execution_slots=slots, seed=2,
+        )
+        result = run_query_throughput(cluster, SERVICE, threads=60,
+                                      duration_seconds=60.0)
+        values.append(result.per_minute)
+    return values
+
+
+def test_ablation_slots_vs_shards(benchmark):
+    box = {}
+
+    def run():
+        box["many"] = _throughputs(slots=8)   # S < E
+        box["few"] = _throughputs(slots=2)    # S > E
+        return box
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_series(
+        "Ablation — scale-out shape at S=4 shards (queries/minute)",
+        "nodes", NODE_COUNTS,
+        {"E=8 slots (S<E)": box["many"], "E=2 slots (S>E)": box["few"]},
+    ))
+
+    def gains(values):
+        return [b - a for a, b in zip(values, values[1:])]
+
+    many_gains = gains(box["many"])
+    few_gains = gains(box["few"])
+    # S < E: every individual node addition contributes real throughput.
+    assert all(g > 100 for g in many_gains)
+    # S > E: at least one single-node addition contributes (almost)
+    # nothing while others jump — the paper's step function.
+    assert min(few_gains) < 100
+    assert max(few_gains) > 300

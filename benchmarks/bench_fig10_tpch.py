@@ -1,0 +1,65 @@
+"""Figure 10: TPC-H query runtime — Enterprise vs Eon-in-cache vs Eon-on-S3.
+
+Paper setup: TPC-H SF200 on 4 c3.2xlarge; Enterprise on EBS, Eon cache on
+instance storage.  Here: 4-node clusters over the simulated substrate; we
+report simulated latency per query.  The shape to reproduce: Eon in-cache
+matches or beats Enterprise on most queries; reading from S3 is clearly
+slower but within small multiples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.workloads.tpch import TPCH_QUERIES
+
+from conftest import emit
+
+
+def _sweep(eon, enterprise):
+    rows = []
+    wins = 0
+    for query in TPCH_QUERIES:
+        ent_ms = enterprise.query(query.sql).stats.latency_seconds * 1000
+        eon.query(query.sql)  # warm the caches
+        warm_ms = eon.query(query.sql).stats.latency_seconds * 1000
+        cold_ms = eon.query(query.sql, use_cache=False).stats.latency_seconds * 1000
+        if warm_ms <= ent_ms:
+            wins += 1
+        rows.append([f"Q{query.number}", ent_ms, warm_ms, cold_ms])
+    return rows, wins
+
+
+def test_fig10_tpch_three_ways(benchmark, eon_tpch, enterprise_tpch):
+    rows_box = {}
+
+    def run():
+        rows_box["rows"], rows_box["wins"] = _sweep(eon_tpch, enterprise_tpch)
+        return rows_box["wins"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = rows_box["rows"]
+    emit(format_table(
+        "Figure 10 — TPC-H query latency (simulated ms, 4 nodes)",
+        ["query", "Enterprise", "Eon in-cache", "Eon from S3"],
+        rows,
+    ))
+    emit(f"Eon-in-cache matches/beats Enterprise on {rows_box['wins']}/20 queries")
+    # Acceptance: the paper's shape.
+    assert rows_box["wins"] >= 16, "Eon in-cache should win on most queries"
+    for name, ent_ms, warm_ms, cold_ms in rows:
+        assert cold_ms > warm_ms, f"{name}: S3 read should cost more than cache"
+        assert cold_ms < warm_ms * 200, f"{name}: S3 should stay within bounds"
+
+
+def test_fig10_cache_hit_behavior(benchmark, eon_tpch):
+    """Second run of a query must be fully cache-resident."""
+
+    def run():
+        eon_tpch.query(TPCH_QUERIES[0].sql)
+        return eon_tpch.query(TPCH_QUERIES[0].sql).stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.total_bytes_from_shared == 0
+    assert stats.total_bytes_from_cache > 0

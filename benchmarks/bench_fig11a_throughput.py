@@ -1,0 +1,87 @@
+"""Figure 11a: elastic throughput scaling of the customer short query.
+
+Paper setup: ~100ms multi-join dashboard query; Eon at 3/6/9 nodes with 3
+shards vs Enterprise at 9 nodes; 10-70 client threads.  The shapes to
+reproduce: near-linear Eon scale-out 3->6->9 at fixed shard count, and an
+Enterprise 9-node curve that degrades as concurrency grows ("the
+additional compute resources are not worth the overhead of assembling
+them").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EnterpriseCluster, EonCluster
+from repro.bench.harness import ServiceModel, run_query_throughput
+from repro.bench.reporting import format_series
+
+from conftest import emit
+
+THREADS = [10, 30, 50, 70]
+EON_SERVICE = ServiceModel(
+    work_seconds=0.100, coordination_base=0.003, coordination_per_node=0.0008
+)
+ENTERPRISE_SERVICE = ServiceModel(
+    work_seconds=0.100, coordination_base=0.003, coordination_per_node=0.002,
+    contention_per_inflight=0.0015,
+)
+
+
+def _eon(n: int) -> EonCluster:
+    return EonCluster([f"n{i}" for i in range(n)], shard_count=3, seed=2)
+
+
+def test_fig11a_elastic_throughput(benchmark):
+    series_box = {}
+
+    def run():
+        series = {}
+        for n in (3, 6, 9):
+            cluster = _eon(n)
+            series[f"Eon {n}n/3s"] = [
+                run_query_throughput(cluster, EON_SERVICE, t, 60.0).per_minute
+                for t in THREADS
+            ]
+        enterprise = EnterpriseCluster([f"e{i}" for i in range(9)], seed=2)
+        series["Enterprise 9n"] = [
+            run_query_throughput(
+                enterprise, ENTERPRISE_SERVICE, t, 60.0, mode="enterprise"
+            ).per_minute
+            for t in THREADS
+        ]
+        series_box["series"] = series
+        return series
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    series = series_box["series"]
+    emit(format_series(
+        "Figure 11a — short-query throughput (queries/minute)",
+        "threads", THREADS, series,
+    ))
+
+    # Acceptance criteria (shapes, not absolutes):
+    at_70 = {name: values[-1] for name, values in series.items()}
+    # Near-linear Eon scale-out at high concurrency.
+    assert at_70["Eon 6n/3s"] > at_70["Eon 3n/3s"] * 1.5
+    assert at_70["Eon 9n/3s"] > at_70["Eon 3n/3s"] * 2.2
+    # Enterprise 9n below Eon 9n everywhere.
+    for i, _t in enumerate(THREADS):
+        assert series["Enterprise 9n"][i] < series["Eon 9n/3s"][i]
+    # Enterprise degrades with offered load.
+    ent = series["Enterprise 9n"]
+    assert ent[-1] < ent[0]
+
+
+def test_fig11a_eon_flat_across_threads_when_saturated(benchmark):
+    """Past the slot limit, Eon throughput holds steady (no collapse)."""
+
+    def run():
+        cluster = _eon(3)
+        return [
+            run_query_throughput(cluster, EON_SERVICE, t, 60.0).per_minute
+            for t in THREADS
+        ]
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert max(values) < min(values) * 1.25

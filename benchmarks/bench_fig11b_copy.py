@@ -1,0 +1,76 @@
+"""Figure 11b: throughput of concurrent 50MB COPY statements.
+
+Paper setup: each COPY loads 50MB; 10-50 concurrent loaders; Eon at 3/6/9
+nodes with 3 shards.  The shape to reproduce: COPY throughput grows with
+node count (the writer role spreads over more subscribers), sublinearly
+(the paper's own 9-node point is < 3x its 3-node point).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EonCluster
+from repro.bench.harness import run_copy_throughput
+from repro.bench.reporting import format_series
+from repro.load.copy import copy_into
+from repro.workloads.iot import iot_batch, setup_iot_schema
+
+from conftest import emit
+
+THREADS = [10, 30, 50]
+
+
+def _eon(n: int) -> EonCluster:
+    return EonCluster([f"n{i}" for i in range(n)], shard_count=3, seed=2)
+
+
+def test_fig11b_copy_throughput(benchmark):
+    box = {}
+
+    def run():
+        series = {}
+        for n in (3, 6, 9):
+            cluster = _eon(n)
+            series[f"Eon {n}n/3s"] = [
+                run_copy_throughput(cluster, threads=t, duration_seconds=60.0).per_minute
+                for t in THREADS
+            ]
+        box["series"] = series
+        return series
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    series = box["series"]
+    emit(format_series(
+        "Figure 11b — 50MB COPY statements per minute",
+        "threads", THREADS, series,
+    ))
+    at_50 = {name: values[-1] for name, values in series.items()}
+    assert at_50["Eon 6n/3s"] > at_50["Eon 3n/3s"] * 1.4
+    assert at_50["Eon 9n/3s"] > at_50["Eon 6n/3s"] * 1.1
+
+
+def test_fig11b_real_copy_path_iot(benchmark, capsys):
+    """Drive the *actual* COPY code with IoT batches (correctness +
+    measured write amplification of the Figure 8 workflow)."""
+    cluster = _eon(3)
+    setup_iot_schema(cluster, streams=4)
+
+    def run():
+        reports = []
+        for seq in range(3):
+            for stream in range(4):
+                table, rows = iot_batch(stream, seq, rows=800)
+                reports.append(copy_into(cluster, table, rows))
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    loaded = sum(r.rows_loaded for r in reports)
+    assert loaded == 3 * 4 * 800
+    total = cluster.query("select count(*) from metrics_0").rows.to_pylist()
+    assert total == [(2400,)]
+    emit(
+        f"IoT COPY: {len(reports)} statements, {loaded} rows, "
+        f"{sum(r.containers_written for r in reports)} containers, "
+        f"{sum(r.peer_pushes for r in reports)} peer cache pushes"
+    )

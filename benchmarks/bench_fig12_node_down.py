@@ -1,0 +1,94 @@
+"""Figure 12: throughput while killing 1 node of a 4-node, 3-shard cluster.
+
+Paper setup: a ~6-second TPC-H-ish query stream, throughput counted per
+4-minute window, one node killed mid-run.  The shape to reproduce: Eon's
+"non-cliff performance scale down" — a smooth, modest drop — versus
+Enterprise, whose buddy node must do double work (cliff).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnType, EnterpriseCluster, EonCluster
+from repro.bench.harness import ServiceModel, run_query_throughput
+from repro.bench.reporting import format_table
+
+from conftest import emit
+
+WINDOW = 240.0
+DURATION = 4800.0
+KILL_AT = 2400.0
+MODEL = ServiceModel(work_seconds=6.0, coordination_base=0.01,
+                     coordination_per_node=0.001)
+
+
+def _windows(cluster, mode):
+    result = run_query_throughput(
+        cluster, MODEL, threads=16, duration_seconds=DURATION,
+        window_seconds=WINDOW, mode=mode,
+        events=[(KILL_AT, lambda: cluster.kill_node(sorted(cluster.nodes)[1]))],
+    )
+    assert result.errors == 0
+    return result.window_counts
+
+
+def test_fig12_node_kill_throughput(benchmark):
+    box = {}
+
+    def run():
+        eon = EonCluster([f"n{i}" for i in range(4)], shard_count=3, seed=3)
+        ent = EnterpriseCluster([f"n{i}" for i in range(4)], seed=3)
+        box["eon"] = _windows(eon, "eon")
+        box["ent"] = _windows(ent, "enterprise")
+        return box
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    eon, ent = box["eon"], box["ent"]
+    kill_window = int(KILL_AT // WINDOW)
+    rows = [
+        [i, count, ent[i], "<- kill" if i == kill_window else ""]
+        for i, count in enumerate(eon)
+    ]
+    emit(format_table(
+        "Figure 12 — queries per 4-minute window, kill 1 of 4 nodes",
+        ["window", "Eon 4n/3s", "Enterprise 4n", ""],
+        rows,
+    ))
+
+    eon_before = sum(eon[:kill_window]) / kill_window
+    eon_after = sum(eon[kill_window + 1:]) / (len(eon) - kill_window - 1)
+    ent_before = sum(ent[:kill_window]) / kill_window
+    ent_after = sum(ent[kill_window + 1:]) / (len(ent) - kill_window - 1)
+    eon_drop = 1 - eon_after / eon_before
+    ent_drop = 1 - ent_after / ent_before
+    emit(f"Eon drop: {eon_drop:.0%}   Enterprise drop: {ent_drop:.0%}")
+
+    # Acceptance: Eon degrades smoothly, Enterprise falls off a cliff.
+    assert 0.0 < eon_drop < 0.40
+    assert ent_drop > 0.40
+    assert ent_drop > eon_drop * 1.5
+
+
+def test_fig12_recovery_restores_throughput(benchmark):
+    """Extension of Figure 12: the node rejoins and throughput returns."""
+    box = {}
+
+    def run():
+        cluster = EonCluster([f"n{i}" for i in range(4)], shard_count=3, seed=3)
+        result = run_query_throughput(
+            cluster, MODEL, threads=16, duration_seconds=7200.0,
+            window_seconds=WINDOW,
+            events=[
+                (2400.0, lambda: cluster.kill_node("n1")),
+                (4800.0, lambda: cluster.recover_node("n1")),
+            ],
+        )
+        box["windows"] = result.window_counts
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    windows = box["windows"]
+    start = sum(windows[:10]) / 10
+    end = sum(windows[-8:]) / 8
+    assert end >= start * 0.9

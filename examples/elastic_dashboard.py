@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Elastic throughput scaling and subcluster isolation (paper sections
+4.2-4.3): a dashboard workload gains throughput as nodes are added, and an
+ETL subcluster is isolated from the dashboard nodes.
+
+Run with:  python examples/elastic_dashboard.py
+"""
+
+from repro import EonCluster
+from repro.bench import format_series, run_query_throughput
+from repro.bench.harness import ServiceModel, profile_query
+from repro.workloads.dashboard import (
+    dashboard_query,
+    load_dashboard_data,
+    setup_dashboard_schema,
+)
+
+
+def main() -> None:
+    cluster = EonCluster([f"node{i}" for i in range(3)], shard_count=3, seed=5)
+    setup_dashboard_schema(cluster)
+    load_dashboard_data(cluster, n_events=20_000)
+
+    sql = dashboard_query()
+    print("Dashboard query result (top 5):")
+    for row in cluster.query(sql).rows.to_pylist()[:5]:
+        print("  ", row)
+
+    # Calibrate the short query's cost from a real (warm) execution, then
+    # simulate a thread swarm against the live cluster at each size.
+    cluster.query(sql)  # warm caches
+    model = profile_query(cluster, sql)
+    model = ServiceModel(
+        work_seconds=max(model.work_seconds, 0.09),  # ~100ms query per paper
+        coordination_base=model.coordination_base,
+        coordination_per_node=model.coordination_per_node,
+    )
+
+    threads_axis = [10, 30, 50, 70]
+    series = {}
+    series["3 nodes"] = [
+        run_query_throughput(cluster, model, t, 60.0).per_minute
+        for t in threads_axis
+    ]
+    for name in ("node3", "node4", "node5"):
+        cluster.add_node(name)
+    series["6 nodes"] = [
+        run_query_throughput(cluster, model, t, 60.0).per_minute
+        for t in threads_axis
+    ]
+    for name in ("node6", "node7", "node8"):
+        cluster.add_node(name)
+    series["9 nodes"] = [
+        run_query_throughput(cluster, model, t, 60.0).per_minute
+        for t in threads_axis
+    ]
+    print()
+    print(format_series(
+        "Elastic throughput scaling (queries/minute, 3 shards)",
+        "threads", threads_axis, series,
+    ))
+
+    # Subcluster isolation: the ETL nodes never serve dashboard queries.
+    cluster.define_subcluster("dash", ["node0", "node1", "node2"])
+    cluster.define_subcluster("etl", ["node6", "node7", "node8"])
+    result = cluster.query(sql, subcluster="dash")
+    print("\nDashboard session executed on:", sorted(result.stats.per_node))
+    etl = cluster.query(sql, subcluster="etl")
+    print("ETL session executed on:      ", sorted(etl.stats.per_node))
+
+
+if __name__ == "__main__":
+    main()

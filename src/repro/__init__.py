@@ -1,0 +1,42 @@
+"""repro — a reproduction of *Eon Mode: Bringing the Vertica Columnar
+Database to the Cloud* (Vandiver et al., SIGMOD 2018).
+
+Public API quick tour::
+
+    from repro import EonCluster, EnterpriseCluster
+
+    cluster = EonCluster(["n1", "n2", "n3"], shard_count=3)
+    cluster.execute("create table t (a int, b varchar)")
+    cluster.load("t", [(1, "x"), (2, "y")])
+    result = cluster.query("select a, b from t order by a")
+    print(result.rows.to_pylist())
+
+See README.md for the architecture overview and DESIGN.md for the mapping
+from paper sections to modules.
+"""
+
+from repro.cluster.enterprise import EnterpriseCluster
+from repro.cluster.eon import EonCluster
+from repro.cluster.node import Node
+from repro.catalog.objects import Segmentation
+from repro.common.clock import SimClock
+from repro.common.types import ColumnType, TableSchema
+from repro.shared_storage.s3 import S3CostModel, S3LatencyModel, SimulatedS3
+from repro.storage.container import RowSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EonCluster",
+    "EnterpriseCluster",
+    "Node",
+    "Segmentation",
+    "SimClock",
+    "ColumnType",
+    "TableSchema",
+    "SimulatedS3",
+    "S3LatencyModel",
+    "S3CostModel",
+    "RowSet",
+    "__version__",
+]

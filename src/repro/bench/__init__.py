@@ -1,0 +1,27 @@
+"""Benchmark harness: deterministic throughput/latency experiments.
+
+Latency experiments (Figure 10) execute real queries and read the
+simulated-latency estimate from :class:`QueryStats`.  Throughput
+experiments (Figures 11a, 11b, 12) run a discrete-event simulation where
+every simulated query/load exercises the *real* session-layout and
+writer-selection code against the live cluster object — node kills,
+subscriptions, and elasticity all affect results exactly as in the
+system — while the per-query service time comes from a calibration run.
+"""
+
+from repro.bench.harness import (
+    ThroughputResult,
+    profile_query,
+    run_copy_throughput,
+    run_query_throughput,
+)
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "ThroughputResult",
+    "profile_query",
+    "run_query_throughput",
+    "run_copy_throughput",
+    "format_table",
+    "format_series",
+]

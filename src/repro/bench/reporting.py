@@ -1,0 +1,41 @@
+"""Plain-text reporting for benchmark results (paper-style rows/series)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Dict[str, Sequence[float]],
+) -> str:
+    """One column per series, one row per x — the shape of a paper figure."""
+    headers = [x_label] + list(series)
+    rows: List[List[object]] = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(title, headers, rows)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)

@@ -1,0 +1,21 @@
+"""The Eon file cache (section 5.2).
+
+A disk cache of whole data files fetched from shared storage.  Files are
+immutable, so the cache only handles add and drop — never invalidate.
+Eviction is LRU; shaping policies let operators pin or exclude tables; the
+cache is write-through at load time; and new subscribers warm their cache
+from a peer's most-recently-used list.
+"""
+
+from repro.cache.disk_cache import CacheStats, FileCache, ShapingPolicy
+from repro.cache.lru import LruIndex
+from repro.cache.warming import WarmingReport, warm_from_peer
+
+__all__ = [
+    "FileCache",
+    "ShapingPolicy",
+    "CacheStats",
+    "LruIndex",
+    "warm_from_peer",
+    "WarmingReport",
+]

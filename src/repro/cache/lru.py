@@ -1,0 +1,70 @@
+"""Size-aware LRU index.
+
+"The cache eviction policy is a simple least-recently-used (LRU)
+mechanism, assuming that past access is a good predictor of future need."
+(section 5.2).  This index tracks names, sizes, and recency; the actual
+bytes live in the owning :class:`~repro.cache.disk_cache.FileCache`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
+
+
+class LruIndex:
+    """Ordered name -> size map; least recently used first."""
+
+    def __init__(self) -> None:
+        self._entries: "OrderedDict[str, int]" = OrderedDict()
+        self.total_bytes = 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, name: str, size: int) -> None:
+        """Insert (or refresh) ``name`` as most recently used."""
+        if name in self._entries:
+            self.total_bytes -= self._entries.pop(name)
+        self._entries[name] = size
+        self.total_bytes += size
+
+    def touch(self, name: str) -> None:
+        """Mark ``name`` most recently used; missing names are ignored."""
+        if name in self._entries:
+            self._entries.move_to_end(name)
+
+    def remove(self, name: str) -> Optional[int]:
+        """Drop ``name``; returns its size, or None if absent."""
+        size = self._entries.pop(name, None)
+        if size is not None:
+            self.total_bytes -= size
+        return size
+
+    def size_of(self, name: str) -> Optional[int]:
+        return self._entries.get(name)
+
+    def least_recent(self) -> Iterator[Tuple[str, int]]:
+        """Entries from coldest to hottest."""
+        return iter(list(self._entries.items()))
+
+    def most_recent_within(self, budget_bytes: int) -> List[str]:
+        """Hottest entries whose cumulative size fits ``budget_bytes``.
+
+        This is the list a cache-warming peer supplies to a new subscriber
+        given a capacity target (section 5.2).
+        """
+        chosen: List[str] = []
+        used = 0
+        for name, size in reversed(self._entries.items()):
+            if used + size > budget_bytes:
+                continue
+            chosen.append(name)
+            used += size
+        return chosen
+
+    def names(self) -> List[str]:
+        return list(self._entries)

@@ -1,0 +1,35 @@
+"""Catalog: metadata objects, MVCC state, redo log + checkpoints, OCC.
+
+Section 2.4 of the paper: Vertica's catalog keeps all metadata in memory
+under multi-version concurrency control, appends transaction logs to a redo
+log at commit, periodically writes checkpoints labelled with the version
+counter, and retains two checkpoints.  Section 3.1 splits the catalog into
+*global* objects (tables, projections, users — on every node) and *storage*
+objects (containers, delete vectors — only on nodes subscribed to the
+owning shard).  Section 6.3 adds optimistic concurrency control with
+commit-time write-set validation.
+"""
+
+from repro.catalog.catalog import Catalog, CatalogSnapshot
+from repro.catalog.objects import (
+    LiveAggregateProjection,
+    Projection,
+    Segmentation,
+    Table,
+    User,
+)
+from repro.catalog.occ import WriteSet
+from repro.catalog.transaction_log import Checkpoint, LogRecord
+
+__all__ = [
+    "Catalog",
+    "CatalogSnapshot",
+    "Table",
+    "Projection",
+    "LiveAggregateProjection",
+    "Segmentation",
+    "User",
+    "WriteSet",
+    "Checkpoint",
+    "LogRecord",
+]

@@ -1,0 +1,400 @@
+"""Catalog state under multi-version concurrency control.
+
+The in-memory catalog "uses a multi-version concurrency control mechanism,
+exposing consistent snapshots to database read operations and copy-on-write
+semantics for write operations" (section 2.4).
+
+:class:`CatalogState` is the materialised catalog at one version.  Commits
+never mutate a state in place: :meth:`CatalogState.copy` produces a
+shallow-copied successor and the transaction's operations are applied to
+the copy, so any snapshot handed to a running query stays frozen.
+
+Catalog mutations are *operations*: small JSON-serialisable dicts with an
+``op`` tag and an optional ``shard`` association.  The same op stream
+drives commit application, redo-log replay, checkpoint restore, and the
+shard-scoped metadata distribution of section 3.2 (a node only applies ops
+for shards it subscribes to, plus all global ops).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.catalog.objects import (
+    LiveAggregateProjection,
+    Projection,
+    Table,
+    User,
+)
+from repro.common.oid import StorageId
+from repro.common.types import ColumnType, SchemaColumn
+from repro.errors import CatalogError
+from repro.storage.container import ROSContainer
+from repro.storage.delete_vector import DeleteVector
+
+Op = Dict[str, object]
+
+
+# ---------------------------------------------------------------------------
+# storage-object (de)serialisation
+
+
+def container_to_json(c: ROSContainer) -> dict:
+    return {
+        "sid": str(c.sid),
+        "projection": c.projection,
+        "shard_id": c.shard_id,
+        "row_count": c.row_count,
+        "size_bytes": c.size_bytes,
+        "min_values": [list(p) for p in c.min_values],
+        "max_values": [list(p) for p in c.max_values],
+        "partition_key": c.partition_key,
+        "creation_version": c.creation_version,
+    }
+
+
+def container_from_json(obj: dict) -> ROSContainer:
+    return ROSContainer(
+        sid=StorageId.parse(obj["sid"]),
+        projection=obj["projection"],
+        shard_id=obj["shard_id"],
+        row_count=obj["row_count"],
+        size_bytes=obj["size_bytes"],
+        min_values=tuple((k, v) for k, v in obj["min_values"]),
+        max_values=tuple((k, v) for k, v in obj["max_values"]),
+        partition_key=obj.get("partition_key"),
+        creation_version=obj.get("creation_version", 0),
+    )
+
+
+def dv_to_json(dv: DeleteVector) -> dict:
+    return {
+        "sid": str(dv.sid),
+        "target_sid": str(dv.target_sid),
+        "projection": dv.projection,
+        "shard_id": dv.shard_id,
+        "deleted_count": dv.deleted_count,
+        "size_bytes": dv.size_bytes,
+        "creation_version": dv.creation_version,
+    }
+
+
+def dv_from_json(obj: dict) -> DeleteVector:
+    return DeleteVector(
+        sid=StorageId.parse(obj["sid"]),
+        target_sid=StorageId.parse(obj["target_sid"]),
+        projection=obj["projection"],
+        shard_id=obj["shard_id"],
+        deleted_count=obj["deleted_count"],
+        size_bytes=obj["size_bytes"],
+        creation_version=obj.get("creation_version", 0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# op constructors (the only way library code should build ops)
+
+
+def op_create_table(table: Table) -> Op:
+    return {"op": "create_table", "table": table.to_json()}
+
+
+def op_drop_table(name: str) -> Op:
+    return {"op": "drop_table", "name": name}
+
+
+def op_add_column(table: str, column: SchemaColumn) -> Op:
+    return {
+        "op": "add_column",
+        "table": table,
+        "column": {"name": column.name, "type": column.ctype.value},
+    }
+
+
+def op_create_projection(projection: Projection) -> Op:
+    return {"op": "create_projection", "projection": projection.to_json()}
+
+
+def op_drop_projection(name: str) -> Op:
+    return {"op": "drop_projection", "name": name}
+
+
+def op_create_live_agg(lap: LiveAggregateProjection) -> Op:
+    return {"op": "create_live_agg", "lap": lap.to_json()}
+
+
+def op_create_user(user: User) -> Op:
+    return {"op": "create_user", "user": user.to_json()}
+
+
+def op_add_container(container: ROSContainer) -> Op:
+    return {
+        "op": "add_container",
+        "shard": container.shard_id,
+        "container": container_to_json(container),
+    }
+
+
+def op_drop_container(sid: str, shard_id: Optional[int]) -> Op:
+    return {"op": "drop_container", "shard": shard_id, "sid": sid}
+
+
+def op_add_delete_vector(dv: DeleteVector) -> Op:
+    return {"op": "add_delete_vector", "shard": dv.shard_id, "dv": dv_to_json(dv)}
+
+
+def op_drop_delete_vector(sid: str, shard_id: Optional[int]) -> Op:
+    return {"op": "drop_delete_vector", "shard": shard_id, "sid": sid}
+
+
+def op_set_property(key: str, value: object) -> Op:
+    return {"op": "set_property", "key": key, "value": value}
+
+
+def op_set_subscription(node: str, shard_id: int, state: str) -> Op:
+    return {"op": "set_subscription", "node": node, "shard_id": shard_id, "state": state}
+
+
+def op_drop_subscription(node: str, shard_id: int) -> Op:
+    return {"op": "drop_subscription", "node": node, "shard_id": shard_id}
+
+
+def op_shard_of(op: Op) -> Optional[int]:
+    """The shard an op belongs to; None means global (all nodes apply it)."""
+    return op.get("shard")  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# the state
+
+
+class CatalogState:
+    """Materialised catalog contents at a single version."""
+
+    def __init__(self) -> None:
+        self.version = 0
+        self.tables: Dict[str, Table] = {}
+        self.projections: Dict[str, Projection] = {}
+        self.live_aggs: Dict[str, LiveAggregateProjection] = {}
+        self.users: Dict[str, User] = {}
+        self.containers: Dict[str, ROSContainer] = {}
+        self.delete_vectors: Dict[str, DeleteVector] = {}
+        #: free-form cluster properties (mergeout coordinators, ...)
+        self.properties: Dict[str, object] = {}
+        #: (node, shard_id) -> subscription state name
+        self.subscriptions: Dict[tuple, str] = {}
+
+    def copy(self) -> "CatalogState":
+        new = CatalogState.__new__(CatalogState)
+        new.version = self.version
+        new.tables = dict(self.tables)
+        new.projections = dict(self.projections)
+        new.live_aggs = dict(self.live_aggs)
+        new.users = dict(self.users)
+        new.containers = dict(self.containers)
+        new.delete_vectors = dict(self.delete_vectors)
+        new.properties = dict(self.properties)
+        new.subscriptions = dict(self.subscriptions)
+        return new
+
+    # -- lookups --------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def projection(self, name: str) -> Projection:
+        try:
+            return self.projections[name]
+        except KeyError:
+            raise CatalogError(f"no projection named {name!r}") from None
+
+    def projections_of(self, table: str) -> List[Projection]:
+        return [p for p in self.projections.values() if p.anchor_table == table]
+
+    def live_aggs_of(self, table: str) -> List[LiveAggregateProjection]:
+        return [l for l in self.live_aggs.values() if l.anchor_table == table]
+
+    def containers_of(
+        self, projection: str, shard_id: Optional[int] = None
+    ) -> List[ROSContainer]:
+        return [
+            c
+            for c in self.containers.values()
+            if c.projection == projection
+            and (shard_id is None or c.shard_id == shard_id)
+        ]
+
+    def delete_vectors_for(self, target_sid: str) -> List[DeleteVector]:
+        return [
+            d
+            for d in self.delete_vectors.values()
+            if str(d.target_sid) == target_sid
+        ]
+
+    def storage_sids(self) -> Set[str]:
+        """Names of every storage object this state references."""
+        sids = {str(c.sid) for c in self.containers.values()}
+        sids |= {str(d.sid) for d in self.delete_vectors.values()}
+        return sids
+
+    # -- application ------------------------------------------------------------
+
+    def apply(self, op: Op) -> None:
+        try:
+            handler = _HANDLERS[op["op"]]  # type: ignore[index]
+        except KeyError:
+            raise CatalogError(f"unknown catalog op: {op.get('op')!r}") from None
+        handler(self, op)
+
+    def apply_all(self, ops: List[Op], shard_filter: Optional[Set[int]] = None) -> None:
+        """Apply ``ops``, skipping shard-scoped ops outside ``shard_filter``.
+
+        ``shard_filter=None`` applies everything (a node subscribed to all
+        shards, or log replay for a full catalog).
+        """
+        for op in ops:
+            shard = op_shard_of(op)
+            if shard is not None and shard_filter is not None and shard not in shard_filter:
+                continue
+            self.apply(op)
+
+
+# -- op handlers -------------------------------------------------------------
+
+
+def _h_create_table(state: CatalogState, op: Op) -> None:
+    table = Table.from_json(op["table"])  # type: ignore[arg-type]
+    if table.name in state.tables:
+        raise CatalogError(f"table {table.name!r} already exists")
+    state.tables[table.name] = table
+
+
+def _h_drop_table(state: CatalogState, op: Op) -> None:
+    name = op["name"]
+    table = state.tables.pop(name, None)
+    if table is None:
+        raise CatalogError(f"no table named {name!r}")
+    for proj in list(state.projections.values()):
+        if proj.anchor_table == name:
+            del state.projections[proj.name]
+            for sid, c in list(state.containers.items()):
+                if c.projection == proj.name:
+                    del state.containers[sid]
+            for sid, d in list(state.delete_vectors.items()):
+                if d.projection == proj.name:
+                    del state.delete_vectors[sid]
+    for lap in list(state.live_aggs.values()):
+        if lap.anchor_table == name:
+            del state.live_aggs[lap.name]
+
+
+def _h_add_column(state: CatalogState, op: Op) -> None:
+    table = state.table(op["table"])  # type: ignore[arg-type]
+    col = op["column"]  # type: ignore[assignment]
+    new_col = SchemaColumn(col["name"], ColumnType(col["type"]))
+    if new_col.name in table.schema:
+        raise CatalogError(
+            f"column {new_col.name!r} already exists in {table.name!r}"
+        )
+    state.tables[table.name] = table.with_column(new_col)
+
+
+def _h_create_projection(state: CatalogState, op: Op) -> None:
+    proj = Projection.from_json(op["projection"])  # type: ignore[arg-type]
+    if proj.name in state.projections:
+        raise CatalogError(f"projection {proj.name!r} already exists")
+    table = state.table(proj.anchor_table)
+    state.projections[proj.name] = proj
+    state.tables[table.name] = table.with_projection(proj.name)
+
+
+def _h_drop_projection(state: CatalogState, op: Op) -> None:
+    name = op["name"]
+    proj = state.projections.pop(name, None)
+    if proj is None:
+        raise CatalogError(f"no projection named {name!r}")
+    table = state.tables.get(proj.anchor_table)
+    if table is not None:
+        state.tables[table.name] = table.without_projection(name)
+    for sid, c in list(state.containers.items()):
+        if c.projection == name:
+            del state.containers[sid]
+
+
+def _h_create_live_agg(state: CatalogState, op: Op) -> None:
+    lap = LiveAggregateProjection.from_json(op["lap"])  # type: ignore[arg-type]
+    if lap.name in state.live_aggs:
+        raise CatalogError(f"live aggregate {lap.name!r} already exists")
+    state.table(lap.anchor_table)  # must exist
+    state.live_aggs[lap.name] = lap
+
+
+def _h_create_user(state: CatalogState, op: Op) -> None:
+    user = User.from_json(op["user"])  # type: ignore[arg-type]
+    if user.name in state.users:
+        raise CatalogError(f"user {user.name!r} already exists")
+    state.users[user.name] = user
+
+
+def _h_add_container(state: CatalogState, op: Op) -> None:
+    container = container_from_json(op["container"])  # type: ignore[arg-type]
+    key = str(container.sid)
+    if key in state.containers:
+        raise CatalogError(f"container {key} already exists")
+    state.containers[key] = container
+
+
+def _h_drop_container(state: CatalogState, op: Op) -> None:
+    key = op["sid"]
+    if state.containers.pop(key, None) is None:
+        raise CatalogError(f"no container {key}")
+    for sid, d in list(state.delete_vectors.items()):
+        if str(d.target_sid) == key:
+            del state.delete_vectors[sid]
+
+
+def _h_add_delete_vector(state: CatalogState, op: Op) -> None:
+    dv = dv_from_json(op["dv"])  # type: ignore[arg-type]
+    key = str(dv.sid)
+    if key in state.delete_vectors:
+        raise CatalogError(f"delete vector {key} already exists")
+    state.delete_vectors[key] = dv
+
+
+def _h_drop_delete_vector(state: CatalogState, op: Op) -> None:
+    key = op["sid"]
+    if state.delete_vectors.pop(key, None) is None:
+        raise CatalogError(f"no delete vector {key}")
+
+
+def _h_set_property(state: CatalogState, op: Op) -> None:
+    state.properties[op["key"]] = op["value"]  # type: ignore[index]
+
+
+def _h_set_subscription(state: CatalogState, op: Op) -> None:
+    state.subscriptions[(op["node"], op["shard_id"])] = op["state"]  # type: ignore[index]
+
+
+def _h_drop_subscription(state: CatalogState, op: Op) -> None:
+    state.subscriptions.pop((op["node"], op["shard_id"]), None)
+
+
+_HANDLERS: Dict[str, Callable[[CatalogState, Op], None]] = {
+    "create_table": _h_create_table,
+    "drop_table": _h_drop_table,
+    "add_column": _h_add_column,
+    "create_projection": _h_create_projection,
+    "drop_projection": _h_drop_projection,
+    "create_live_agg": _h_create_live_agg,
+    "create_user": _h_create_user,
+    "add_container": _h_add_container,
+    "drop_container": _h_drop_container,
+    "add_delete_vector": _h_add_delete_vector,
+    "drop_delete_vector": _h_drop_delete_vector,
+    "set_property": _h_set_property,
+    "set_subscription": _h_set_subscription,
+    "drop_subscription": _h_drop_subscription,
+}

@@ -1,0 +1,18 @@
+"""Cluster layer: nodes, Eon and Enterprise clusters, revive, recovery.
+
+:class:`EonCluster` is the paper's contribution assembled: sharded
+metadata with subscriptions, shared-storage data with per-node caches,
+max-flow session layout, elastic throughput scaling, subclusters, crunch
+scaling, revive, and background services (catalog sync, mergeout
+coordination, file reaping).
+
+:class:`EnterpriseCluster` is the shared-nothing baseline it is evaluated
+against: node-owned local storage, buddy projections for fault tolerance,
+WOS + moveout, and repair-style recovery.
+"""
+
+from repro.cluster.enterprise import EnterpriseCluster
+from repro.cluster.eon import EonCluster
+from repro.cluster.node import Node, NodeState
+
+__all__ = ["EonCluster", "EnterpriseCluster", "Node", "NodeState"]

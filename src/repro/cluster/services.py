@@ -1,0 +1,124 @@
+"""Background services: the periodic maintenance loops of a live cluster.
+
+The paper describes several services that "wake up" on intervals: the
+catalog sync ("each node ... independently uploads them to shared storage
+on a regular, configurable interval", §3.5), the truncation-version /
+cluster_info writer (§3.5), mergeout (§6.2), and file reaping (§6.5).
+
+:class:`ServiceScheduler` drives them from the simulated clock, so long
+DES runs (like the Figure-12 timeline) execute maintenance at realistic
+cadence, and tests can single-step with :meth:`tick`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.clock import Timeout
+from repro.errors import ReproError
+from repro.tuple_mover import MergeoutCoordinatorService
+
+
+@dataclass
+class ServiceIntervals:
+    """Seconds between runs of each service (None disables it)."""
+
+    catalog_sync: Optional[float] = 60.0
+    cluster_info: Optional[float] = 300.0
+    mergeout: Optional[float] = 120.0
+    reaper: Optional[float] = 300.0
+
+
+@dataclass
+class ServiceStats:
+    sync_runs: int = 0
+    cluster_info_writes: int = 0
+    mergeout_jobs: int = 0
+    files_reaped: int = 0
+    errors: int = 0
+
+
+class ServiceScheduler:
+    """Periodic maintenance driver for an Eon cluster."""
+
+    def __init__(self, cluster, intervals: Optional[ServiceIntervals] = None):
+        self.cluster = cluster
+        self.intervals = intervals or ServiceIntervals()
+        self.mergeout_service = MergeoutCoordinatorService(cluster)
+        self.stats = ServiceStats()
+        self._running = False
+
+    # -- single-step (tests and synchronous callers) -----------------------------
+
+    def tick(self) -> ServiceStats:
+        """Run every enabled service once, immediately."""
+        self.run_catalog_sync()
+        self.run_cluster_info()
+        self.run_mergeout()
+        self.run_reaper()
+        return self.stats
+
+    def run_catalog_sync(self) -> None:
+        try:
+            self.cluster.sync_catalogs(include_checkpoint=True)
+            self.stats.sync_runs += 1
+        except ReproError:
+            self.stats.errors += 1
+
+    def run_cluster_info(self) -> None:
+        try:
+            self.cluster.write_cluster_info()
+            self.stats.cluster_info_writes += 1
+        except ReproError:
+            self.stats.errors += 1
+
+    def run_mergeout(self) -> None:
+        try:
+            report = self.mergeout_service.run_all(max_jobs_per_shard=4)
+            self.stats.mergeout_jobs += report.jobs_run
+        except ReproError:
+            self.stats.errors += 1
+
+    def run_reaper(self) -> None:
+        try:
+            reaped = self.cluster.reaper.poll()
+            self.stats.files_reaped += reaped.deleted
+        except ReproError:
+            self.stats.errors += 1
+
+    # -- clock-driven operation --------------------------------------------------
+
+    def start(self, duration: Optional[float] = None) -> None:
+        """Spawn one clock process per enabled service.
+
+        Each service sleeps its interval then runs; a service that raises
+        counts an error and keeps going (a failed sync must not kill the
+        sync loop).  With ``duration``, services stop scheduling after
+        that point; the caller still owns ``clock.run()``.
+        """
+        clock = self.cluster.clock
+        self._running = True
+
+        def loop(interval: float, action) -> object:
+            while self._running:
+                yield Timeout(interval)
+                if duration is not None and clock.now > duration:
+                    return None
+                if not self._running:
+                    return None
+                action()
+            return None
+
+        pairs = [
+            (self.intervals.catalog_sync, self.run_catalog_sync),
+            (self.intervals.cluster_info, self.run_cluster_info),
+            (self.intervals.mergeout, self.run_mergeout),
+            (self.intervals.reaper, self.run_reaper),
+        ]
+        for interval, action in pairs:
+            if interval is not None:
+                clock.spawn(loop(interval, action))
+
+    def stop(self) -> None:
+        self._running = False

@@ -1,0 +1,264 @@
+"""Query sessions and the Eon storage provider.
+
+A session (section 4.1) selects, via max flow, a *participating
+subscription* per shard: which node serves which shard for this session's
+queries.  Sessions also carry the crunch-scaling configuration (section
+4.4) when a query should use more nodes than there are shards, and the
+subcluster priority (section 4.3) when workload isolation applies.
+
+:class:`EonStorageProvider` adapts a session to the executor's
+:class:`StorageProvider` interface: scans fetch this node's shards'
+containers through its cache, apply delete vectors, and prune containers
+from min/max statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.cache.disk_cache import ObjectInfo
+from repro.catalog.catalog import CatalogSnapshot
+from repro.engine.executor import ScanResult, StorageProvider
+from repro.engine.expressions import Expr, extract_column_bounds
+from repro.engine.pruning import prune_containers
+from repro.errors import ExecutionError, QueryCancelled
+from repro.sharding.shard import REPLICA_SHARD_ID, ShardMap
+from repro.storage.container import ROSContainer, RowSet, read_container
+from repro.storage.delete_vector import (
+    combine_positions,
+    mask_from_positions,
+    read_delete_vector,
+)
+
+
+@dataclass
+class EonSession:
+    """One client session's layout over the cluster."""
+
+    cluster: object
+    initiator: str
+    #: shard -> node chosen by the max-flow selection (ETS subset).
+    assignment: Dict[int, str]
+    #: shard -> ordered nodes sharing the shard (crunch scaling); length 1
+    #: lists are the common, non-crunch case.
+    sharing: Dict[int, List[str]]
+    crunch: Optional[str]  # None | "hash" | "container"
+    snapshots: Dict[str, CatalogSnapshot]
+    use_cache: bool = True
+    seed: int = 0
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Request cancellation; scans abort at the next file boundary
+        ("users expect their queries to be cancelable, so Vertica cannot
+        hang waiting for S3 to respond" — section 5.3)."""
+        self.cancelled = True
+
+    def participants(self) -> List[str]:
+        seen: List[str] = []
+        for nodes in self.sharing.values():
+            for node in nodes:
+                if node not in seen:
+                    seen.append(node)
+        if self.initiator not in seen:
+            seen.append(self.initiator)
+        return seen
+
+    def shards_of(self, node: str) -> List[Tuple[int, int, int]]:
+        """(shard, sub_index, share_count) triples this node serves."""
+        out = []
+        for shard, nodes in self.sharing.items():
+            for index, name in enumerate(nodes):
+                if name == node:
+                    out.append((shard, index, len(nodes)))
+        return out
+
+    def release(self) -> None:
+        for snapshot in self.snapshots.values():
+            snapshot.release()
+
+    def __enter__(self) -> "EonSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class EonStorageProvider(StorageProvider):
+    """Executor-facing scan interface over an Eon session."""
+
+    def __init__(self, session: EonSession):
+        self.session = session
+        self.cluster = session.cluster
+
+    def participants(self) -> List[str]:
+        return self.session.participants()
+
+    def initiator(self) -> str:
+        return self.session.initiator
+
+    @property
+    def preserves_segmentation(self) -> bool:
+        # Hash-filter crunch re-segments by the same columns, preserving
+        # co-location; container split does not (section 4.4).
+        if self.session.crunch == "container":
+            return False
+        return True
+
+    def scan(
+        self,
+        node_name: str,
+        projection: str,
+        columns: Sequence[str],
+        predicate: Optional[Expr],
+        replicated: bool,
+    ) -> ScanResult:
+        session = self.session
+        snapshot = session.snapshots[node_name]
+        state = snapshot.state
+        node = self.cluster.nodes[node_name]
+        node.ensure_up()
+        shard_map: ShardMap = self.cluster.shard_map
+
+        result = ScanResult(rows=RowSet.empty(_projection_schema(state, projection, columns)))
+        parts: List[RowSet] = []
+        predicate_bounds = extract_column_bounds(predicate)
+
+        if replicated:
+            assignments: List[Tuple[Optional[int], int, int]] = [(REPLICA_SHARD_ID, 0, 1)]
+        else:
+            assignments = session.shards_of(node_name)
+
+        for shard_id, sub_index, share_count in assignments:
+            containers = state.containers_of(projection, shard_id)
+            containers.sort(key=lambda c: str(c.sid))
+            kept, pruned = prune_containers(containers, predicate)
+            result.containers_pruned += pruned
+            if session.crunch == "container" and share_count > 1:
+                kept = [c for i, c in enumerate(kept) if i % share_count == sub_index]
+            hash_crunch = session.crunch == "hash" and share_count > 1
+            read_columns = list(columns)
+            if hash_crunch:
+                # The secondary hash predicate needs the segmentation
+                # columns even when the query does not read them.
+                seg_cols = self._segmentation_columns(state, projection)
+                read_columns += [c for c in seg_cols if c not in read_columns]
+            for container in kept:
+                if session.cancelled:
+                    raise QueryCancelled(
+                        f"session cancelled while scanning {projection!r}"
+                    )
+                rows = self._read_container(
+                    node, state, container, read_columns, result, predicate_bounds
+                )
+                if hash_crunch and rows.num_rows:
+                    hashes = shard_map.hash_rowset(rows, seg_cols)
+                    rows = rows.filter(
+                        hashes % np.uint64(share_count) == np.uint64(sub_index)
+                    )
+                if hash_crunch:
+                    rows = rows.select(list(columns))
+                if rows.num_rows:
+                    parts.append(rows)
+                result.containers_scanned += 1
+        if parts:
+            result.rows = RowSet.concat(parts)
+        return result
+
+    # -- internals ---------------------------------------------------------------
+
+    def _segmentation_columns(self, state, projection_name: str) -> Tuple[str, ...]:
+        projection = state.projections.get(projection_name)
+        if projection is not None:
+            return tuple(projection.segmentation.columns)
+        lap = state.live_aggs.get(projection_name)
+        if lap is not None:
+            return tuple(lap.segmentation.columns)
+        raise ExecutionError(f"unknown projection {projection_name!r}")
+
+    def _read_container(
+        self,
+        node,
+        state,
+        container: ROSContainer,
+        columns: Sequence[str],
+        result: ScanResult,
+        predicate_bounds: Optional[dict] = None,
+    ) -> RowSet:
+        projection = state.projections.get(container.projection)
+        lap = state.live_aggs.get(container.projection)
+        anchor = (
+            projection.anchor_table
+            if projection is not None
+            else (lap.anchor_table if lap is not None else None)
+        )
+        info = ObjectInfo(
+            table=anchor,
+            projection=container.projection,
+            partition_key=container.partition_key,
+            shard_id=container.shard_id,
+        )
+        data, from_cache, io_seconds = node.fetch_storage(
+            container.location,
+            self.cluster.shared_data,
+            info=info,
+            use_cache=self.session.use_cache,
+        )
+        result.io_seconds += io_seconds
+        if from_cache:
+            result.bytes_from_cache += len(data)
+        else:
+            result.bytes_from_shared += len(data)
+        reader = read_container(data)
+        dvs = state.delete_vectors_for(str(container.sid))
+
+        # Block-level pruning: decode only blocks whose footer min/max
+        # could satisfy the predicate (section 2.3's position index).
+        # Delete-vector positions are container-absolute, so pruning is
+        # only applied to containers without tombstones.
+        if predicate_bounds and not dvs:
+            block_indices = reader.matching_blocks(predicate_bounds)
+            total_blocks = reader.block_count()
+            if len(block_indices) < total_blocks:
+                result.blocks_pruned += total_blocks - len(block_indices)
+                return reader.read_rowset_blocks(list(columns), block_indices)
+        rows = reader.read_rowset(list(columns))
+
+        # Apply delete vectors, if any target this container.
+        if dvs:
+            position_sets = []
+            for dv in dvs:
+                dv_data, dv_cached, dv_io = node.fetch_storage(
+                    dv.location,
+                    self.cluster.shared_data,
+                    info=info,
+                    use_cache=self.session.use_cache,
+                )
+                result.io_seconds += dv_io
+                if dv_cached:
+                    result.bytes_from_cache += len(dv_data)
+                else:
+                    result.bytes_from_shared += len(dv_data)
+                position_sets.append(read_delete_vector(dv_data))
+            mask = mask_from_positions(
+                combine_positions(position_sets), container.row_count
+            )
+            rows = rows.filter(mask)
+        return rows
+
+
+def _projection_schema(state, projection_name: str, columns: Sequence[str]):
+    from repro.common.types import TableSchema
+
+    projection = state.projections.get(projection_name)
+    if projection is not None:
+        table = state.table(projection.anchor_table)
+        return table.schema.subset([c for c in columns])
+    lap = state.live_aggs.get(projection_name)
+    if lap is not None:
+        table = state.table(lap.anchor_table)
+        return lap.output_schema(table.schema).subset(list(columns))
+    raise ExecutionError(f"unknown projection {projection_name!r}")

@@ -1,0 +1,95 @@
+"""Cost model: translate work done into simulated seconds.
+
+Absolute numbers are calibrated to commodity hardware orders of magnitude
+only; experiments compare *configurations* (Enterprise vs Eon-cached vs
+Eon-from-S3, 3 vs 6 vs 9 nodes), so what matters is that the relative
+magnitudes — per-row CPU cost, local-disk vs S3 bandwidth, per-request S3
+latency, network shipping — are realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CostModel:
+    """Per-unit simulated costs used by the executor."""
+
+    #: CPU seconds per row per operator touch (scan decode, filter, join
+    #: probe, aggregate update): ~50M rows/s/core.
+    row_cpu_seconds: float = 2e-8
+    #: Extra per-value decode cost applied per scanned cell.
+    cell_cpu_seconds: float = 5e-9
+    #: Node-to-node network: bandwidth and per-message latency.
+    network_bandwidth: float = 1.0e9
+    network_latency: float = 0.0005
+    #: Fixed per-query planning/dispatch overhead on the initiator.
+    dispatch_seconds: float = 0.002
+
+    def network_seconds(self, nbytes: int, messages: int = 1) -> float:
+        return messages * self.network_latency + nbytes / self.network_bandwidth
+
+
+@dataclass
+class NodeWork:
+    """Per-node accounting for one query."""
+
+    io_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    bytes_from_cache: int = 0
+    bytes_from_shared: int = 0
+    rows_scanned: int = 0
+    rows_processed: int = 0
+    containers_scanned: int = 0
+    containers_pruned: int = 0
+    blocks_pruned: int = 0
+
+    @property
+    def busy_seconds(self) -> float:
+        return self.io_seconds + self.cpu_seconds
+
+
+@dataclass
+class QueryStats:
+    """Aggregated execution statistics for one query."""
+
+    per_node: Dict[str, NodeWork] = field(default_factory=dict)
+    network_bytes: int = 0
+    network_seconds: float = 0.0
+    initiator_cpu_seconds: float = 0.0
+    dispatch_seconds: float = 0.0
+
+    def node(self, name: str) -> NodeWork:
+        if name not in self.per_node:
+            self.per_node[name] = NodeWork()
+        return self.per_node[name]
+
+    @property
+    def latency_seconds(self) -> float:
+        """Estimated wall-clock: slowest node + exchange + initiator work.
+
+        Participating nodes execute their fragments in parallel, so the
+        critical path is the busiest node, then network shipping, then the
+        initiator's merge/sort work.
+        """
+        slowest = max((w.busy_seconds for w in self.per_node.values()), default=0.0)
+        return (
+            self.dispatch_seconds
+            + slowest
+            + self.network_seconds
+            + self.initiator_cpu_seconds
+        )
+
+    @property
+    def total_bytes_from_shared(self) -> int:
+        return sum(w.bytes_from_shared for w in self.per_node.values())
+
+    @property
+    def total_bytes_from_cache(self) -> int:
+        return sum(w.bytes_from_cache for w in self.per_node.values())
+
+    @property
+    def total_rows_scanned(self) -> int:
+        return sum(w.rows_scanned for w in self.per_node.values())

@@ -1,0 +1,222 @@
+"""Database Designer (section 2.1): derive projections from a workload.
+
+"Vertica has a Database Designer utility that uses the schema, some sample
+data, and queries from the workload to automatically determine an
+optimized set of projections."
+
+This designer analyses a set of SELECT statements against the catalog and
+proposes, per table:
+
+* **columns** — only what the workload touches (narrow projections
+  compress and scan better);
+* **segmentation** — the most common equi-join key set (enabling local
+  joins), or replication for small dimension tables every query joins;
+* **sort order** — the columns most often range-filtered (enabling
+  container/block pruning), then group-by columns (run-friendly layout).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.mvcc import CatalogState
+from repro.catalog.objects import Projection, Segmentation
+from repro.engine.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    Literal,
+    extract_column_bounds,
+)
+from repro.errors import SqlError
+from repro.sql.ast import Select
+from repro.sql.binder import bind_select
+from repro.sql.parser import parse
+
+#: Tables at or below this row count are proposed as replicated.
+REPLICATION_ROW_THRESHOLD = 10_000
+
+
+@dataclass
+class ProjectionProposal:
+    """One recommended projection."""
+
+    table: str
+    columns: Tuple[str, ...]
+    sort_order: Tuple[str, ...]
+    segmentation: Segmentation
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return f"{self.table}_dbd"
+
+    def to_sql(self) -> str:
+        cols = ", ".join(self.columns)
+        order = ", ".join(self.sort_order)
+        if self.segmentation.is_replicated:
+            seg = "unsegmented all nodes"
+        else:
+            seg = f"segmented by hash({', '.join(self.segmentation.columns)})"
+        return (
+            f"create projection {self.name} ({cols}) as select * from "
+            f"{self.table} order by {order} {seg}"
+        )
+
+
+@dataclass
+class _TableProfile:
+    columns_used: Counter = field(default_factory=Counter)
+    join_key_sets: Counter = field(default_factory=Counter)  # frozenset -> hits
+    filter_columns: Counter = field(default_factory=Counter)
+    group_columns: Counter = field(default_factory=Counter)
+    query_hits: int = 0
+
+
+class DatabaseDesigner:
+    """Workload-driven projection recommendation."""
+
+    def __init__(self, catalog: CatalogState,
+                 row_counts: Optional[Dict[str, int]] = None):
+        self.catalog = catalog
+        self.row_counts = row_counts or {}
+        self._profiles: Dict[str, _TableProfile] = {}
+
+    # -- workload ingestion -----------------------------------------------------
+
+    def add_query(self, sql: str) -> None:
+        """Analyse one SELECT; non-SELECT statements are rejected."""
+        statements = parse(sql)
+        for statement in statements:
+            if not isinstance(statement, Select):
+                raise SqlError("the designer analyses SELECT statements only")
+            self._profile(bind_select(statement, self.catalog))
+
+    def add_workload(self, queries: Sequence[str]) -> int:
+        """Analyse many queries; returns how many were usable."""
+        used = 0
+        for sql in queries:
+            try:
+                self.add_query(sql)
+                used += 1
+            except Exception:
+                continue  # skip queries the subset cannot bind
+        return used
+
+    def _profile(self, bound) -> None:
+        for table in bound.tables:
+            profile = self._profiles.setdefault(table, _TableProfile())
+            profile.query_hits += 1
+            for column in bound.columns_needed.get(table, ()):
+                profile.columns_used[column] += 1
+        # Join keys per table (each edge contributes to both sides).
+        owner = self._column_owner(bound)
+        for edge in bound.join_edges:
+            left_by_table: Dict[str, Set[str]] = {}
+            for key in edge.left_keys:
+                left_by_table.setdefault(owner[key], set()).add(key)
+            for table, keys in left_by_table.items():
+                self._profiles[table].join_key_sets[frozenset(keys)] += 1
+            self._profiles[edge.table].join_key_sets[
+                frozenset(edge.right_keys)
+            ] += 1
+        # Filters: range/equality columns benefit the sort order.
+        for table, predicate in bound.table_filters.items():
+            for column in extract_column_bounds(predicate):
+                self._profiles[table].filter_columns[column] += 1
+        for name in bound.group_names:
+            table = owner.get(name)
+            if table is not None:
+                self._profiles[table].group_columns[name] += 1
+
+    def _column_owner(self, bound) -> Dict[str, str]:
+        owner: Dict[str, str] = {}
+        for table in bound.tables:
+            for column in self.catalog.table(table).schema.names:
+                owner[column] = table
+        return owner
+
+    # -- recommendations -----------------------------------------------------------
+
+    def propose(self) -> List[ProjectionProposal]:
+        proposals = []
+        for table in sorted(self._profiles):
+            proposal = self._propose_for(table)
+            if proposal is not None:
+                proposals.append(proposal)
+        return proposals
+
+    def _propose_for(self, table: str) -> Optional[ProjectionProposal]:
+        profile = self._profiles[table]
+        schema = self.catalog.table(table).schema
+        if not profile.columns_used:
+            return None
+        reasons = []
+        columns = tuple(
+            c for c in schema.names if c in profile.columns_used
+        )
+        reasons.append(
+            f"covers the {len(columns)} columns the workload reads "
+            f"(of {len(schema)})"
+        )
+
+        # Segmentation: replicate small tables, else the hottest join keys.
+        rows = self.row_counts.get(table)
+        if rows is not None and rows <= REPLICATION_ROW_THRESHOLD:
+            segmentation = Segmentation.replicated()
+            reasons.append(
+                f"replicated: {rows} rows fit on every node and all joins "
+                "become local"
+            )
+        elif profile.join_key_sets:
+            key_set, hits = profile.join_key_sets.most_common(1)[0]
+            ordered = tuple(c for c in schema.names if c in key_set)
+            segmentation = Segmentation.by_hash(*ordered)
+            reasons.append(
+                f"segmented by {list(ordered)}: joined on it in {hits} "
+                "queries (local joins)"
+            )
+        else:
+            anchor = columns[0]
+            segmentation = Segmentation.by_hash(anchor)
+            reasons.append(f"segmented by {anchor!r} (no joins observed)")
+
+        # Sort order: filtered columns first (pruning), then group-bys.
+        sort: List[str] = []
+        for column, _hits in profile.filter_columns.most_common():
+            if column in columns and column not in sort:
+                sort.append(column)
+        for column, _hits in profile.group_columns.most_common():
+            if column in columns and column not in sort:
+                sort.append(column)
+        if not sort:
+            sort = [columns[0]]
+        else:
+            reasons.append(
+                f"sorted by {sort}: range filters prune containers and "
+                "blocks"
+            )
+        return ProjectionProposal(
+            table=table,
+            columns=columns,
+            sort_order=tuple(sort),
+            segmentation=segmentation,
+            reasons=reasons,
+        )
+
+    def apply(self, cluster) -> List[str]:
+        """Create the proposed projections on a cluster; returns names."""
+        created = []
+        for proposal in self.propose():
+            cluster.create_projection(
+                proposal.name,
+                proposal.table,
+                list(proposal.columns),
+                list(proposal.sort_order),
+                proposal.segmentation,
+            )
+            created.append(proposal.name)
+        return created

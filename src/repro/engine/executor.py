@@ -1,0 +1,324 @@
+"""Distributed plan executor.
+
+Executes a :class:`~repro.engine.planner.PhysicalPlan` against a
+:class:`StorageProvider` (implemented by the Eon and Enterprise clusters).
+Subtrees without aggregation run as per-participant *fragments* whose
+results are gathered to the initiator; aggregation marks the fragment
+boundary (one-phase, two-phase partial/final, or gather-and-aggregate),
+and everything above it runs on the initiator.
+
+The provider tells the executor whether the session's data placement still
+preserves the segmentation property (it does not under container-split
+crunch scaling — section 4.4); if not, local joins are downgraded to
+broadcast and one-phase aggregation to two-phase, exactly the "data must be
+shuffled" consequence the paper describes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.types import SchemaColumn, TableSchema
+from repro.engine.cost import CostModel, QueryStats
+from repro.engine.expressions import Expr
+from repro.engine.operators import aggregate, hash_join, sort_limit
+from repro.engine.plan import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    has_node,
+)
+from repro.engine.planner import PhysicalPlan
+from repro.errors import ExecutionError
+from repro.storage.container import RowSet
+
+
+@dataclass
+class ScanResult:
+    """What a storage provider returns for one fragment scan."""
+
+    rows: RowSet
+    io_seconds: float = 0.0
+    bytes_from_cache: int = 0
+    bytes_from_shared: int = 0
+    containers_scanned: int = 0
+    containers_pruned: int = 0
+    blocks_pruned: int = 0
+
+
+class StorageProvider(abc.ABC):
+    """The cluster-facing interface the executor runs against."""
+
+    @abc.abstractmethod
+    def participants(self) -> List[str]:
+        """Nodes executing fragments for this session."""
+
+    @abc.abstractmethod
+    def initiator(self) -> str:
+        """The session's initiator node (also a participant)."""
+
+    @abc.abstractmethod
+    def scan(
+        self,
+        node: str,
+        projection: str,
+        columns: Sequence[str],
+        predicate: Optional[Expr],
+        replicated: bool,
+    ) -> ScanResult:
+        """Scan the projection data this node serves in this session."""
+
+    @property
+    def preserves_segmentation(self) -> bool:
+        """False when the session splits shards in a way that breaks the
+        co-location property (container-split crunch scaling)."""
+        return True
+
+
+@dataclass
+class QueryResult:
+    rows: RowSet
+    stats: QueryStats
+    plan: PhysicalPlan
+
+
+def rowset_bytes(rows: RowSet) -> int:
+    """Approximate wire size of a batch."""
+    total = 0
+    for name in rows.schema.names:
+        column = rows.column(name)
+        if column.dtype.kind == "O":
+            total += sum(4 + (len(v) if isinstance(v, str) else 0) for v in column)
+        else:
+            total += column.dtype.itemsize * len(column)
+    return total
+
+
+class Executor:
+    def __init__(self, provider: StorageProvider, cost_model: Optional[CostModel] = None):
+        self.provider = provider
+        self.cost = cost_model or CostModel()
+        self.stats = QueryStats()
+        self._broadcast_cache: Dict[int, RowSet] = {}
+
+    # -- public ------------------------------------------------------------------
+
+    def execute(self, plan: PhysicalPlan) -> QueryResult:
+        self.stats = QueryStats()
+        self.stats.dispatch_seconds = self.cost.dispatch_seconds
+        self._broadcast_cache = {}
+        if plan.single_node:
+            self._participants = [self.provider.initiator()]
+        else:
+            self._participants = self.provider.participants()
+        if not self._participants:
+            raise ExecutionError("no participating nodes")
+        rows = self._eval_top(plan.root)
+        return QueryResult(rows=rows, stats=self.stats, plan=plan)
+
+    # -- initiator-side evaluation ----------------------------------------------
+
+    def _eval_top(self, node: PlanNode) -> RowSet:
+        if self._is_fragment_safe(node):
+            return self._gather(node)
+        if isinstance(node, AggregateNode):
+            return self._eval_aggregate(node)
+        if isinstance(node, FilterNode):
+            rows = self._eval_top(node.child)
+            self._charge_initiator(rows.num_rows)
+            return rows.filter(node.predicate.evaluate(rows).astype(bool))
+        if isinstance(node, ProjectNode):
+            rows = self._eval_top(node.child)
+            self._charge_initiator(rows.num_rows)
+            return _project(rows, node.outputs)
+        if isinstance(node, SortNode):
+            rows = self._eval_top(node.child)
+            self._charge_initiator(rows.num_rows)
+            return sort_limit(rows, node.order)
+        if isinstance(node, LimitNode):
+            rows = self._eval_top(node.child)
+            stop = None if node.limit is None else node.offset + node.limit
+            return rows.slice(node.offset, stop)
+        raise ExecutionError(
+            f"unsupported node above aggregation: {type(node).__name__}"
+        )
+
+    @staticmethod
+    def _is_fragment_safe(node: PlanNode) -> bool:
+        """True when the whole subtree can run per-participant and be
+        gathered (no aggregation/sort/limit anywhere inside)."""
+        from repro.engine.plan import walk
+
+        return not any(
+            isinstance(n, (AggregateNode, SortNode, LimitNode)) for n in walk(node)
+        )
+
+    def _eval_aggregate(self, node: AggregateNode) -> RowSet:
+        strategy = self._effective_strategy(node)
+        group = list(node.group_names)
+        specs = list(node.specs)
+        if strategy == "one_phase":
+            parts = [
+                aggregate(self._eval_fragment(node.child, p), group, specs, "complete")
+                for p in self._participants
+            ]
+            for p, part in zip(self._participants, parts):
+                self.stats.node(p).cpu_seconds += part.num_rows * self.cost.row_cpu_seconds
+            return self._collect(parts)
+        if strategy == "two_phase":
+            parts = []
+            for p in self._participants:
+                fragment = self._eval_fragment(node.child, p)
+                self.stats.node(p).cpu_seconds += (
+                    fragment.num_rows * self.cost.row_cpu_seconds
+                )
+                parts.append(aggregate(fragment, group, specs, "partial"))
+            merged = self._collect(parts)
+            self._charge_initiator(merged.num_rows)
+            return aggregate(merged, group, specs, "final")
+        # gather_complete
+        fragments = [self._eval_fragment(node.child, p) for p in self._participants]
+        gathered = self._collect(fragments)
+        self._charge_initiator(gathered.num_rows)
+        return aggregate(gathered, group, specs, "complete")
+
+    def _effective_strategy(self, node: AggregateNode) -> str:
+        strategy = node.strategy
+        if len(self._participants) == 1:
+            return "one_phase"  # complete aggregation is exact on one node
+        if strategy == "one_phase" and not self.provider.preserves_segmentation:
+            has_distinct = any(s.distinct for s in node.specs)
+            strategy = (
+                "gather_complete" if has_distinct and len(node.specs) > 1 else "two_phase"
+            )
+        if strategy == "two_phase" and any(s.distinct for s in node.specs) and len(node.specs) > 1:
+            strategy = "gather_complete"
+        return strategy
+
+    def _gather(self, node: PlanNode) -> RowSet:
+        fragments = [self._eval_fragment(node, p) for p in self._participants]
+        return self._collect(fragments)
+
+    def _collect(self, parts: List[RowSet]) -> RowSet:
+        """Concatenate per-node results, charging network for shipping."""
+        initiator = self.provider.initiator()
+        for participant, part in zip(self._participants, parts):
+            if participant != initiator and part.num_rows:
+                nbytes = rowset_bytes(part)
+                self.stats.network_bytes += nbytes
+                self.stats.network_seconds += self.cost.network_seconds(nbytes)
+        return RowSet.concat(parts) if parts else RowSet.empty(TableSchema([]))
+
+    def _charge_initiator(self, rows: int) -> None:
+        self.stats.initiator_cpu_seconds += rows * self.cost.row_cpu_seconds
+
+    # -- fragment (per-participant) evaluation -------------------------------------
+
+    def _eval_fragment(self, node: PlanNode, participant: str) -> RowSet:
+        work = self.stats.node(participant)
+        if isinstance(node, ScanNode):
+            result = self.provider.scan(
+                participant,
+                node.projection,
+                node.columns,
+                node.predicate,
+                node.replicated,
+            )
+            work.io_seconds += result.io_seconds
+            work.bytes_from_cache += result.bytes_from_cache
+            work.bytes_from_shared += result.bytes_from_shared
+            work.rows_scanned += result.rows.num_rows
+            work.containers_scanned += result.containers_scanned
+            work.containers_pruned += result.containers_pruned
+            work.blocks_pruned += result.blocks_pruned
+            work.cpu_seconds += (
+                result.rows.num_rows * len(node.columns) * self.cost.cell_cpu_seconds
+            )
+            rows = result.rows
+            if node.predicate is not None:
+                work.cpu_seconds += rows.num_rows * self.cost.row_cpu_seconds
+                rows = rows.filter(node.predicate.evaluate(rows).astype(bool))
+                work.rows_processed += rows.num_rows
+            return rows
+        if isinstance(node, FilterNode):
+            rows = self._eval_fragment(node.child, participant)
+            work.cpu_seconds += rows.num_rows * self.cost.row_cpu_seconds
+            return rows.filter(node.predicate.evaluate(rows).astype(bool))
+        if isinstance(node, ProjectNode):
+            rows = self._eval_fragment(node.child, participant)
+            work.cpu_seconds += rows.num_rows * self.cost.row_cpu_seconds
+            return _project(rows, node.outputs)
+        if isinstance(node, JoinNode):
+            return self._eval_join(node, participant)
+        raise ExecutionError(
+            f"node type {type(node).__name__} cannot appear inside a fragment"
+        )
+
+    def _eval_join(self, node: JoinNode, participant: str) -> RowSet:
+        work = self.stats.node(participant)
+        left = self._eval_fragment(node.left, participant)
+        locality = node.locality
+        if locality == "local" and not self.provider.preserves_segmentation:
+            # Container-split crunch broke co-location; replicated build
+            # sides are still safe, segmented ones must be broadcast.
+            if not (isinstance(node.right, ScanNode) and node.right.replicated):
+                locality = "broadcast"
+        if locality == "local":
+            right = self._eval_fragment(node.right, participant)
+        else:
+            right = self._broadcast(node.right, participant)
+        out = hash_join(
+            left, right, list(node.left_keys), list(node.right_keys), node.how
+        )
+        work.cpu_seconds += (
+            (left.num_rows + right.num_rows + out.num_rows) * self.cost.row_cpu_seconds
+        )
+        work.rows_processed += out.num_rows
+        return out
+
+    def _broadcast(self, node: PlanNode, participant: str) -> RowSet:
+        """Gather a build side once, ship it to every participant."""
+        key = id(node)
+        if key not in self._broadcast_cache:
+            fragments = [self._eval_fragment(node, p) for p in self._participants]
+            full = RowSet.concat(fragments)
+            nbytes = rowset_bytes(full)
+            fanout = max(len(self._participants) - 1, 1)
+            self.stats.network_bytes += nbytes * fanout
+            self.stats.network_seconds += self.cost.network_seconds(
+                nbytes * fanout, messages=fanout
+            )
+            self._broadcast_cache[key] = full
+        return self._broadcast_cache[key]
+
+
+def _project(rows: RowSet, outputs: Tuple[Tuple[str, Expr], ...]) -> RowSet:
+    columns: Dict[str, np.ndarray] = {}
+    schema_cols: List[SchemaColumn] = []
+    for name, expr in outputs:
+        values = expr.evaluate(rows)
+        columns[name] = values
+        schema_cols.append(SchemaColumn(name, _ctype_of(values)))
+    return RowSet(TableSchema(schema_cols), columns)
+
+
+def _ctype_of(values: np.ndarray):
+    from repro.common.types import ColumnType
+
+    kind = values.dtype.kind
+    if kind == "O":
+        return ColumnType.VARCHAR
+    if kind == "f":
+        return ColumnType.FLOAT
+    if kind == "b":
+        return ColumnType.BOOL
+    return ColumnType.INT

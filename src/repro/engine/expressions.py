@@ -1,0 +1,553 @@
+"""Expression trees: evaluation over columnar batches and range analysis.
+
+Expressions evaluate vectorised over a :class:`~repro.storage.container.RowSet`
+(one numpy array in, one out).  They also support *range analysis* — "Vertica
+accomplishes this by tracking minimum and maximum values of columns in each
+storage and using expression analysis to determine if a predicate could ever
+be true for the given minimum and maximum" (section 2.1).
+:meth:`Expr.could_match` is that analysis: given per-column [min, max]
+bounds it returns False only when the predicate is provably false for every
+row, enabling container- and block-level pruning.
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.common.dates import month_of_days, year_of_days
+from repro.errors import ExecutionError
+from repro.storage.container import RowSet
+
+#: Per-column bounds used by range analysis: name -> (min, max).
+Bounds = Dict[str, Tuple[object, object]]
+
+
+class Expr(abc.ABC):
+    """Base class of all expression nodes."""
+
+    @abc.abstractmethod
+    def evaluate(self, rows: RowSet) -> np.ndarray:
+        """Vectorised evaluation; returns an array of len ``rows.num_rows``."""
+
+    @abc.abstractmethod
+    def columns_used(self) -> Set[str]:
+        """Every column name referenced anywhere in the tree."""
+
+    def could_match(self, bounds: Bounds) -> bool:
+        """Range analysis for pruning.
+
+        Must be *conservative*: True means "possibly matches"; only return
+        False when no row within ``bounds`` can satisfy the predicate.
+        Columns missing from ``bounds`` are unbounded.
+        """
+        return True
+
+    # -- operator sugar for plan construction in Python ----------------------
+
+    def __eq__(self, other):  # type: ignore[override]
+        return BinaryOp("=", self, _wrap(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return BinaryOp("<>", self, _wrap(other))
+
+    def __lt__(self, other):
+        return BinaryOp("<", self, _wrap(other))
+
+    def __le__(self, other):
+        return BinaryOp("<=", self, _wrap(other))
+
+    def __gt__(self, other):
+        return BinaryOp(">", self, _wrap(other))
+
+    def __ge__(self, other):
+        return BinaryOp(">=", self, _wrap(other))
+
+    def __add__(self, other):
+        return BinaryOp("+", self, _wrap(other))
+
+    def __sub__(self, other):
+        return BinaryOp("-", self, _wrap(other))
+
+    def __mul__(self, other):
+        return BinaryOp("*", self, _wrap(other))
+
+    def __truediv__(self, other):
+        return BinaryOp("/", self, _wrap(other))
+
+    def __and__(self, other):
+        return BinaryOp("and", self, _wrap(other))
+
+    def __or__(self, other):
+        return BinaryOp("or", self, _wrap(other))
+
+    def __invert__(self):
+        return UnaryOp("not", self)
+
+    def __hash__(self):
+        return hash(repr(self))
+
+    def between(self, lo, hi) -> "Expr":
+        return (self >= _wrap(lo)) & (self <= _wrap(hi))
+
+    def isin(self, values: Sequence[object]) -> "Expr":
+        return InList(self, tuple(values))
+
+    def like(self, pattern: str) -> "Expr":
+        return FuncCall("like", (self, Literal(pattern)))
+
+    def is_null(self) -> "Expr":
+        return IsNull(self)
+
+
+def _wrap(value) -> "Expr":
+    return value if isinstance(value, Expr) else Literal(value)
+
+
+def col(name: str) -> "ColumnRef":
+    return ColumnRef(name)
+
+
+def lit(value) -> "Literal":
+    return Literal(value)
+
+
+class ColumnRef(Expr):
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, rows: RowSet) -> np.ndarray:
+        try:
+            return rows.column(self.name)
+        except KeyError:
+            raise ExecutionError(f"column {self.name!r} not in batch") from None
+
+    def columns_used(self) -> Set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expr):
+    def __init__(self, value):
+        self.value = value
+
+    def evaluate(self, rows: RowSet) -> np.ndarray:
+        if isinstance(self.value, str) or self.value is None:
+            return np.full(rows.num_rows, self.value, dtype=object)
+        if isinstance(self.value, bool):
+            return np.full(rows.num_rows, self.value, dtype=np.bool_)
+        if isinstance(self.value, int):
+            return np.full(rows.num_rows, self.value, dtype=np.int64)
+        return np.full(rows.num_rows, self.value, dtype=np.float64)
+
+    def columns_used(self) -> Set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_CMP = {"=", "<>", "<", "<=", ">", ">="}
+_ARITH = {"+", "-", "*", "/"}
+_BOOL = {"and", "or"}
+
+
+class BinaryOp(Expr):
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _CMP | _ARITH | _BOOL:
+            raise ValueError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, rows: RowSet) -> np.ndarray:
+        lhs = self.left.evaluate(rows)
+        rhs = self.right.evaluate(rows)
+        op = self.op
+        if op == "=":
+            return _null_safe_compare(lhs, rhs, "eq")
+        if op == "<>":
+            return _null_safe_compare(lhs, rhs, "ne")
+        if op == "<":
+            return _null_safe_compare(lhs, rhs, "lt")
+        if op == "<=":
+            return _null_safe_compare(lhs, rhs, "le")
+        if op == ">":
+            return _null_safe_compare(lhs, rhs, "gt")
+        if op == ">=":
+            return _null_safe_compare(lhs, rhs, "ge")
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            return np.divide(
+                lhs.astype(np.float64), rhs.astype(np.float64),
+            )
+        if op == "and":
+            return np.logical_and(lhs.astype(bool), rhs.astype(bool))
+        return np.logical_or(lhs.astype(bool), rhs.astype(bool))
+
+    def columns_used(self) -> Set[str]:
+        return self.left.columns_used() | self.right.columns_used()
+
+    def could_match(self, bounds: Bounds) -> bool:
+        op = self.op
+        if op == "and":
+            return self.left.could_match(bounds) and self.right.could_match(bounds)
+        if op == "or":
+            return self.left.could_match(bounds) or self.right.could_match(bounds)
+        if op in _CMP:
+            return _range_compare(self.op, self.left, self.right, bounds)
+        return True
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+def _null_safe_compare(lhs: np.ndarray, rhs: np.ndarray, kind: str) -> np.ndarray:
+    """Comparison where NULL (None in object arrays) compares False."""
+    if lhs.dtype.kind == "O" or rhs.dtype.kind == "O":
+        out = np.empty(len(lhs), dtype=bool)
+        for i in range(len(lhs)):
+            a, b = lhs[i], rhs[i]
+            if a is None or b is None:
+                out[i] = False
+                continue
+            if kind == "eq":
+                out[i] = a == b
+            elif kind == "ne":
+                out[i] = a != b
+            elif kind == "lt":
+                out[i] = a < b
+            elif kind == "le":
+                out[i] = a <= b
+            elif kind == "gt":
+                out[i] = a > b
+            else:
+                out[i] = a >= b
+        return out
+    ufunc = {
+        "eq": np.equal, "ne": np.not_equal, "lt": np.less,
+        "le": np.less_equal, "gt": np.greater, "ge": np.greater_equal,
+    }[kind]
+    return ufunc(lhs, rhs)
+
+
+def _range_compare(op: str, left: Expr, right: Expr, bounds: Bounds) -> bool:
+    """Prune ``col OP literal`` / ``literal OP col`` forms."""
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        column, value = left.name, right.value
+    elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+        column, value = right.name, left.value
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+    else:
+        return True
+    if column not in bounds or value is None:
+        return True
+    lo, hi = bounds[column]
+    if lo is None or hi is None:
+        return True
+    try:
+        if op == "=":
+            return lo <= value <= hi
+        if op == "<>":
+            return not (lo == value == hi)
+        if op == "<":
+            return lo < value
+        if op == "<=":
+            return lo <= value
+        if op == ">":
+            return hi > value
+        if op == ">=":
+            return hi >= value
+    except TypeError:
+        return True  # mixed types: cannot prune safely
+    return True
+
+
+class UnaryOp(Expr):
+    def __init__(self, op: str, operand: Expr):
+        if op not in ("not", "-"):
+            raise ValueError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def evaluate(self, rows: RowSet) -> np.ndarray:
+        value = self.operand.evaluate(rows)
+        if self.op == "not":
+            return np.logical_not(value.astype(bool))
+        return -value
+
+    def columns_used(self) -> Set[str]:
+        return self.operand.columns_used()
+
+    def could_match(self, bounds: Bounds) -> bool:
+        # NOT cannot be pruned from child pruning info (child True means
+        # "maybe", whose negation is also "maybe").
+        return True
+
+    def __repr__(self) -> str:
+        return f"({self.op} {self.operand!r})"
+
+
+class InList(Expr):
+    def __init__(self, operand: Expr, values: Tuple[object, ...]):
+        self.operand = operand
+        self.values = values
+
+    def evaluate(self, rows: RowSet) -> np.ndarray:
+        value = self.operand.evaluate(rows)
+        if value.dtype.kind == "O":
+            allowed = set(self.values)
+            return np.fromiter(
+                (v in allowed for v in value), dtype=bool, count=len(value)
+            )
+        return np.isin(value, np.asarray(self.values))
+
+    def columns_used(self) -> Set[str]:
+        return self.operand.columns_used()
+
+    def could_match(self, bounds: Bounds) -> bool:
+        if not isinstance(self.operand, ColumnRef):
+            return True
+        name = self.operand.name
+        if name not in bounds:
+            return True
+        lo, hi = bounds[name]
+        if lo is None or hi is None:
+            return True
+        try:
+            return any(lo <= v <= hi for v in self.values if v is not None)
+        except TypeError:
+            return True
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r} IN {self.values!r}"
+
+
+class IsNull(Expr):
+    def __init__(self, operand: Expr, negated: bool = False):
+        self.operand = operand
+        self.negated = negated
+
+    def evaluate(self, rows: RowSet) -> np.ndarray:
+        value = self.operand.evaluate(rows)
+        if value.dtype.kind == "O":
+            nulls = np.fromiter(
+                (v is None for v in value), dtype=bool, count=len(value)
+            )
+        else:
+            nulls = np.zeros(len(value), dtype=bool)
+        return ~nulls if self.negated else nulls
+
+    def columns_used(self) -> Set[str]:
+        return self.operand.columns_used()
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r} IS {'NOT ' if self.negated else ''}NULL"
+
+
+class FuncCall(Expr):
+    """Scalar functions: like, substr, year, month, abs, length."""
+
+    _FUNCS = ("like", "substr", "year", "month", "abs", "length", "lower", "upper")
+
+    def __init__(self, name: str, args: Tuple[Expr, ...]):
+        name = name.lower()
+        if name not in self._FUNCS:
+            raise ValueError(f"unknown function {name!r}")
+        self.name = name
+        self.args = args
+
+    def evaluate(self, rows: RowSet) -> np.ndarray:
+        values = [a.evaluate(rows) for a in self.args]
+        if self.name == "like":
+            pattern = self.args[1]
+            if not isinstance(pattern, Literal):
+                raise ExecutionError("LIKE pattern must be a literal")
+            regex = re.compile(_like_to_regex(pattern.value))
+            return np.fromiter(
+                (v is not None and regex.fullmatch(v) is not None for v in values[0]),
+                dtype=bool,
+                count=len(values[0]),
+            )
+        if self.name == "substr":
+            start = int(self.args[1].value) if isinstance(self.args[1], Literal) else 1
+            length = (
+                int(self.args[2].value)
+                if len(self.args) > 2 and isinstance(self.args[2], Literal)
+                else None
+            )
+            begin = start - 1  # SQL substr is 1-based
+            end = None if length is None else begin + length
+            return np.array(
+                [None if v is None else v[begin:end] for v in values[0]],
+                dtype=object,
+            )
+        if self.name == "year":
+            return np.fromiter(
+                (year_of_days(v) for v in values[0]), dtype=np.int64, count=len(values[0])
+            )
+        if self.name == "month":
+            return np.fromiter(
+                (month_of_days(v) for v in values[0]), dtype=np.int64, count=len(values[0])
+            )
+        if self.name == "abs":
+            return np.abs(values[0])
+        if self.name == "length":
+            return np.fromiter(
+                (0 if v is None else len(v) for v in values[0]),
+                dtype=np.int64,
+                count=len(values[0]),
+            )
+        if self.name == "lower":
+            return np.array(
+                [None if v is None else v.lower() for v in values[0]], dtype=object
+            )
+        return np.array(
+            [None if v is None else v.upper() for v in values[0]], dtype=object
+        )
+
+    def columns_used(self) -> Set[str]:
+        used: Set[str] = set()
+        for a in self.args:
+            used |= a.columns_used()
+        return used
+
+    def could_match(self, bounds: Bounds) -> bool:
+        if self.name == "like" and isinstance(self.args[0], ColumnRef):
+            # A LIKE with a literal prefix can prune on string ranges.
+            pattern = self.args[1]
+            if isinstance(pattern, Literal) and isinstance(pattern.value, str):
+                prefix = _literal_prefix(pattern.value)
+                if prefix:
+                    name = self.args[0].name
+                    if name in bounds:
+                        lo, hi = bounds[name]
+                        if lo is not None and hi is not None:
+                            upper = prefix + "￿"
+                            return not (hi < prefix or lo > upper)
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+def extract_column_bounds(expr: Optional["Expr"]) -> Dict[str, Tuple[object, object]]:
+    """Per-column [lo, hi] bounds implied by a predicate's AND-conjuncts.
+
+    Only simple ``col OP literal`` conjuncts contribute; anything else is
+    ignored (bounds stay conservative).  Used for block-level pruning: a
+    block whose min/max falls outside a column's bounds cannot contain a
+    matching row, because AND requires every conjunct to hold.
+    """
+    bounds: Dict[str, Tuple[object, object]] = {}
+
+    def note(column: str, lo: object, hi: object) -> None:
+        old_lo, old_hi = bounds.get(column, (None, None))
+        if lo is not None and (old_lo is None or lo > old_lo):
+            old_lo = lo
+        if hi is not None and (old_hi is None or hi < old_hi):
+            old_hi = hi
+        bounds[column] = (old_lo, old_hi)
+
+    def visit(node: "Expr") -> None:
+        if isinstance(node, BinaryOp):
+            if node.op == "and":
+                visit(node.left)
+                visit(node.right)
+                return
+            if node.op in _CMP:
+                left, right, op = node.left, node.right, node.op
+                if isinstance(right, ColumnRef) and isinstance(left, Literal):
+                    left, right = right, left
+                    op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+                if (
+                    isinstance(left, ColumnRef)
+                    and isinstance(right, Literal)
+                    and right.value is not None
+                ):
+                    value = right.value
+                    if op == "=":
+                        note(left.name, value, value)
+                    elif op in ("<", "<="):
+                        note(left.name, None, value)
+                    elif op in (">", ">="):
+                        note(left.name, value, None)
+        elif isinstance(node, InList) and isinstance(node.operand, ColumnRef):
+            values = [v for v in node.values if v is not None]
+            if values:
+                try:
+                    note(node.operand.name, min(values), max(values))
+                except TypeError:
+                    pass
+
+    if expr is not None:
+        visit(expr)
+    return bounds
+
+
+def _like_to_regex(pattern: str) -> str:
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return "".join(out)
+
+
+def _literal_prefix(pattern: str) -> str:
+    prefix = []
+    for ch in pattern:
+        if ch in ("%", "_"):
+            break
+        prefix.append(ch)
+    return "".join(prefix)
+
+
+class CaseWhen(Expr):
+    """CASE WHEN cond THEN value ... ELSE default END."""
+
+    def __init__(self, branches: List[Tuple[Expr, Expr]], default: Optional[Expr]):
+        if not branches:
+            raise ValueError("CASE requires at least one WHEN branch")
+        self.branches = branches
+        self.default = default if default is not None else Literal(None)
+
+    def evaluate(self, rows: RowSet) -> np.ndarray:
+        result = self.default.evaluate(rows)
+        decided = np.zeros(rows.num_rows, dtype=bool)
+        # First matching branch wins; evaluate in order.
+        out = None
+        for cond, value in self.branches:
+            mask = cond.evaluate(rows).astype(bool) & ~decided
+            branch_value = value.evaluate(rows)
+            if out is None:
+                # Unify dtype: promote to object if kinds differ.
+                if branch_value.dtype != result.dtype:
+                    out = result.astype(object)
+                else:
+                    out = result.copy()
+            out[mask] = branch_value[mask]
+            decided |= mask
+        return out if out is not None else result
+
+    def columns_used(self) -> Set[str]:
+        used = self.default.columns_used()
+        for cond, value in self.branches:
+            used |= cond.columns_used() | value.columns_used()
+        return used
+
+    def __repr__(self) -> str:
+        return f"CASE({self.branches!r}, else={self.default!r})"

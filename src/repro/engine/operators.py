@@ -1,0 +1,470 @@
+"""Physical operators over columnar batches: join, aggregate, sort/limit.
+
+These are the building blocks the distributed executor composes.  Each is a
+pure function from :class:`RowSet` inputs to a :class:`RowSet` output.
+
+Aggregation supports the three distributed modes the planner needs:
+
+* ``complete`` — one-shot aggregation (used when data is co-segmented on
+  the group keys, so every group lives wholly on one node);
+* ``partial`` — per-node pre-aggregation producing mergeable state;
+* ``final`` — merging partial states on the initiator.
+
+COUNT(DISTINCT x) merges by shipping deduplicated (group, x) pairs in the
+partial phase unless the planner proves co-segmentation — the reason the
+paper calls segmentation "particularly effective for the computation of
+high-cardinality distinct aggregates" (section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.types import ColumnType, SchemaColumn, TableSchema
+from repro.engine.expressions import ColumnRef, Expr
+from repro.errors import ExecutionError
+from repro.storage.container import RowSet
+
+_AGG_FUNCS = ("sum", "count", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate output column."""
+
+    func: str
+    argument: Optional[Expr]  # None only for count(*)
+    output: str
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if self.func not in _AGG_FUNCS:
+            raise ValueError(f"unknown aggregate {self.func!r}")
+        if self.argument is None and self.func != "count":
+            raise ValueError(f"{self.func} requires an argument")
+        if self.distinct and self.func not in ("count",):
+            # sum/min/max distinct are rare; count distinct is the headline.
+            raise ValueError("DISTINCT supported for count only")
+
+
+# ---------------------------------------------------------------------------
+# grouping machinery
+
+
+def _factorize(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(codes, uniques): codes[i] indexes uniques; order of uniques sorted."""
+    if arr.dtype.kind == "O":
+        uniques_list = sorted({v for v in arr}, key=lambda v: (v is None, v))
+        index = {v: i for i, v in enumerate(uniques_list)}
+        codes = np.fromiter((index[v] for v in arr), dtype=np.int64, count=len(arr))
+        return codes, np.array(uniques_list, dtype=object)
+    uniques, codes = np.unique(arr, return_inverse=True)
+    return codes.astype(np.int64), uniques
+
+
+def _group_codes(rows: RowSet, group_names: Sequence[str]) -> Tuple[np.ndarray, List[np.ndarray], int]:
+    """Combined group code per row plus per-column unique arrays."""
+    if not group_names:
+        # Global aggregation always has exactly one group, even over an
+        # empty input (SQL semantics: one output row).
+        return np.zeros(rows.num_rows, dtype=np.int64), [], 1
+    if rows.num_rows == 0:
+        return np.zeros(0, dtype=np.int64), [], 0
+    codes = np.zeros(rows.num_rows, dtype=np.int64)
+    uniques: List[np.ndarray] = []
+    for name in group_names:
+        c, u = _factorize(rows.column(name))
+        codes = codes * len(u) + c
+        uniques.append(u)
+    # Re-factorize the combined codes so they are dense.
+    dense_uniques, dense = np.unique(codes, return_inverse=True)
+    return dense.astype(np.int64), uniques, len(dense_uniques)
+
+
+def _group_key_columns(
+    rows: RowSet, group_names: Sequence[str], codes: np.ndarray, n_groups: int
+) -> Dict[str, np.ndarray]:
+    """Representative group-key values, one row per group."""
+    if not group_names:
+        return {}
+    if len(codes) == 0:
+        return {name: rows.column(name)[:0] for name in group_names}
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    is_first = np.concatenate(([True], sorted_codes[1:] != sorted_codes[:-1]))
+    first_rows = order[is_first]  # one row per group, ordered by group code
+    return {name: rows.column(name)[first_rows] for name in group_names}
+
+
+def _output_type(func: str, arg: Optional[np.ndarray]) -> ColumnType:
+    if func == "count":
+        return ColumnType.INT
+    if func == "avg":
+        return ColumnType.FLOAT
+    if arg is None:
+        return ColumnType.INT
+    kind = arg.dtype.kind
+    if kind == "f":
+        return ColumnType.FLOAT
+    if kind == "O":
+        return ColumnType.VARCHAR
+    if kind == "b":
+        return ColumnType.BOOL
+    return ColumnType.INT
+
+
+def _agg_array(func: str, values: np.ndarray, codes: np.ndarray, n: int) -> np.ndarray:
+    if len(codes) == 0:
+        # Only the global-aggregate case reaches here with n == 1; grouped
+        # aggregation over empty input produces zero groups.
+        if func == "count":
+            return np.zeros(n, dtype=np.int64)
+        if func == "sum":
+            if values is not None and values.dtype.kind == "f":
+                return np.zeros(n, dtype=np.float64)
+            return np.zeros(n, dtype=np.int64)
+        # min/max of an empty input: NULL in SQL; we use the type's zero
+        # (numeric) or None (string) — documented deviation.
+        if values is not None and values.dtype.kind == "O":
+            return np.full(n, None, dtype=object)
+        if values is not None and values.dtype.kind == "f":
+            return np.full(n, np.nan)
+        return np.zeros(n, dtype=np.int64 if values is None else values.dtype)
+    if func == "sum":
+        if values.dtype.kind == "f":
+            return np.bincount(codes, weights=values, minlength=n)
+        return np.bincount(codes, weights=values.astype(np.float64), minlength=n).astype(np.int64)
+    if func == "count":
+        return np.bincount(codes, minlength=n).astype(np.int64)
+    if func in ("min", "max"):
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        sorted_values = values[order]
+        starts = np.concatenate(([0], np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1))
+        if values.dtype.kind == "O":
+            out = np.empty(n, dtype=object)
+            ends = np.concatenate((starts[1:], [len(sorted_values)]))
+            for g, (s, e) in enumerate(zip(starts, ends)):
+                chunk = [v for v in sorted_values[s:e] if v is not None]
+                out[sorted_codes[s]] = (min(chunk) if func == "min" else max(chunk)) if chunk else None
+            return out
+        reducer = np.minimum if func == "min" else np.maximum
+        return reducer.reduceat(sorted_values, starts)
+    raise ExecutionError(f"unsupported aggregate {func!r}")
+
+
+def aggregate(
+    rows: RowSet,
+    group_names: Sequence[str],
+    specs: Sequence[AggregateSpec],
+    mode: str = "complete",
+) -> RowSet:
+    """Group-by aggregation in one of the three distributed modes."""
+    if mode not in ("complete", "partial", "final"):
+        raise ValueError(f"unknown aggregation mode {mode!r}")
+    if mode == "complete":
+        if any(s.func == "avg" for s in specs):
+            return _aggregate_complete_with_avg(rows, group_names, specs)
+        return _aggregate_complete(rows, group_names, specs)
+    if mode == "partial":
+        return _aggregate_complete(rows, group_names, partial_specs(specs), partial=True, original=specs)
+    return _aggregate_final(rows, group_names, specs)
+
+
+def _aggregate_complete_with_avg(
+    rows: RowSet, group_names: Sequence[str], specs: Sequence[AggregateSpec]
+) -> RowSet:
+    """One-shot aggregation with avg decomposed into sum/count locally."""
+    decomposed: List[AggregateSpec] = []
+    avg_outputs: List[str] = []
+    for spec in specs:
+        if spec.func == "avg":
+            decomposed.append(replace(spec, func="sum", output=spec.output + "__psum"))
+            decomposed.append(replace(spec, func="count", output=spec.output + "__pcount"))
+            avg_outputs.append(spec.output)
+        else:
+            decomposed.append(spec)
+    out = _aggregate_complete(rows, group_names, decomposed)
+    cols = dict(out.columns)
+    schema_cols = list(out.schema.columns)
+    order = [c.name for c in schema_cols]
+    for output in avg_outputs:
+        psum = cols.pop(output + "__psum")
+        pcount = cols.pop(output + "__pcount")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cols[output] = np.where(
+                pcount > 0, psum / np.maximum(pcount, 1), np.nan
+            )
+        # Place the avg where its sum component sat, preserving spec order.
+        index = order.index(output + "__psum")
+        order[index] = output
+        order.remove(output + "__pcount")
+        schema_cols = [c for c in schema_cols
+                       if c.name not in (output + "__psum", output + "__pcount")]
+        schema_cols.insert(index, SchemaColumn(output, ColumnType.FLOAT))
+    schema_cols.sort(key=lambda c: order.index(c.name))
+    return RowSet(TableSchema(schema_cols), cols)
+
+
+def _aggregate_complete(
+    rows: RowSet,
+    group_names: Sequence[str],
+    specs: Sequence[AggregateSpec],
+    partial: bool = False,
+    original: Optional[Sequence[AggregateSpec]] = None,
+) -> RowSet:
+    if partial and rows.num_rows == 0 and not group_names:
+        # A node with no matching rows contributes NO partial state:
+        # emitting the zero-placeholder row would poison min/max merging
+        # (min(0, real_min) is wrong).  The schema is derived from the
+        # zero-row placeholder, then emptied.
+        placeholder = _aggregate_complete(rows, group_names, specs)
+        return placeholder.slice(0, 0)
+    codes, _, n_groups = _group_codes(rows, group_names)
+    key_cols = _group_key_columns(rows, group_names, codes, n_groups)
+
+    out_cols: Dict[str, np.ndarray] = dict(key_cols)
+    out_schema_cols: List[SchemaColumn] = [rows.schema.column(g) for g in group_names]
+
+    # count-distinct in partial mode ships dedup'd (group, value) pairs
+    # instead of counts, so the final phase can merge across nodes.
+    if partial and any(spec.distinct for spec in specs):
+        if len(specs) > 1:
+            raise ExecutionError(
+                "partial count-distinct cannot be combined with other "
+                "aggregates in one operator; plan them separately"
+            )
+        spec = specs[0]
+        values = spec.argument.evaluate(rows)
+        pair_codes, _ = _factorize_pairs(codes, values)
+        keep = _first_occurrence_mask(pair_codes)
+        dedup = rows.filter(keep)
+        out = {name: dedup.column(name) for name in group_names}
+        out[spec.output] = spec.argument.evaluate(dedup)
+        schema = TableSchema(
+            [dedup.schema.column(g) for g in group_names]
+            + [SchemaColumn(spec.output, _output_type("min", out[spec.output]))]
+        )
+        return RowSet(schema, out)
+
+    for spec in specs:
+        if spec.func == "avg":
+            raise ExecutionError("avg must be decomposed before aggregation")
+        if spec.argument is None:
+            values = None
+        else:
+            values = spec.argument.evaluate(rows)
+        if spec.distinct:
+            pair_codes, _ = _factorize_pairs(codes, values)
+            keep = _first_occurrence_mask(pair_codes)
+            out_cols[spec.output] = _agg_array(
+                "count", codes[keep].astype(np.int64), codes[keep], n_groups
+            )
+        elif spec.func == "count" and values is None:
+            out_cols[spec.output] = _agg_array("count", codes, codes, n_groups)
+        elif spec.func == "count":
+            mask = _non_null_mask(values)
+            out_cols[spec.output] = np.bincount(codes[mask], minlength=n_groups).astype(np.int64)
+        else:
+            out_cols[spec.output] = _agg_array(spec.func, values, codes, n_groups)
+        out_schema_cols.append(SchemaColumn(spec.output, _output_type(spec.func, values)))
+
+    return RowSet(TableSchema(out_schema_cols), out_cols)
+
+
+def _factorize_pairs(codes: np.ndarray, values: Optional[np.ndarray]) -> Tuple[np.ndarray, int]:
+    if len(codes) == 0:
+        return codes, 0
+    if values is None:
+        return codes, int(codes.max()) + 1
+    vcodes, vuniq = _factorize(values)
+    combined = codes * max(len(vuniq), 1) + vcodes
+    dense_uniq, dense = np.unique(combined, return_inverse=True)
+    return dense.astype(np.int64), len(dense_uniq)
+
+
+def _first_occurrence_mask(codes: np.ndarray) -> np.ndarray:
+    seen = np.zeros(int(codes.max()) + 1 if len(codes) else 0, dtype=bool)
+    keep = np.zeros(len(codes), dtype=bool)
+    for i, c in enumerate(codes):
+        if not seen[c]:
+            seen[c] = True
+            keep[i] = True
+    return keep
+
+
+def _non_null_mask(values: np.ndarray) -> np.ndarray:
+    if values.dtype.kind == "O":
+        return np.fromiter((v is not None for v in values), dtype=bool, count=len(values))
+    return np.ones(len(values), dtype=bool)
+
+
+# ---------------------------------------------------------------------------
+# partial / final decomposition
+
+
+def partial_specs(specs: Sequence[AggregateSpec]) -> List[AggregateSpec]:
+    """Decompose aggregates into mergeable partial state columns."""
+    out: List[AggregateSpec] = []
+    for spec in specs:
+        if spec.distinct:
+            out.append(spec)
+        elif spec.func == "avg":
+            out.append(replace(spec, func="sum", output=spec.output + "__psum"))
+            out.append(replace(spec, func="count", output=spec.output + "__pcount"))
+        elif spec.func == "count":
+            out.append(replace(spec, output=spec.output))
+        else:
+            out.append(spec)
+    return out
+
+
+def _aggregate_final(
+    rows: RowSet, group_names: Sequence[str], specs: Sequence[AggregateSpec]
+) -> RowSet:
+    """Merge partial-state rows (concatenated from all nodes)."""
+    merge_specs: List[AggregateSpec] = []
+    avg_fixups: List[str] = []
+    for spec in specs:
+        if spec.distinct:
+            merge_specs.append(
+                AggregateSpec("count", ColumnRef(spec.output), spec.output, distinct=True)
+            )
+        elif spec.func == "avg":
+            merge_specs.append(
+                AggregateSpec("sum", ColumnRef(spec.output + "__psum"), spec.output + "__psum")
+            )
+            merge_specs.append(
+                AggregateSpec("sum", ColumnRef(spec.output + "__pcount"), spec.output + "__pcount")
+            )
+            avg_fixups.append(spec.output)
+        elif spec.func == "count":
+            merge_specs.append(AggregateSpec("sum", ColumnRef(spec.output), spec.output))
+        else:
+            merge_specs.append(AggregateSpec(spec.func, ColumnRef(spec.output), spec.output))
+    merged = _aggregate_complete(rows, group_names, merge_specs)
+    if not avg_fixups:
+        return merged
+    cols = dict(merged.columns)
+    schema_cols = list(merged.schema.columns)
+    for output in avg_fixups:
+        psum = cols.pop(output + "__psum")
+        pcount = cols.pop(output + "__pcount")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cols[output] = np.where(pcount > 0, psum / np.maximum(pcount, 1), np.nan)
+        schema_cols = [c for c in schema_cols if c.name not in (output + "__psum", output + "__pcount")]
+        schema_cols.append(SchemaColumn(output, ColumnType.FLOAT))
+    return RowSet(TableSchema(schema_cols), cols)
+
+
+def final_count_sum(specs: Sequence[AggregateSpec]) -> List[AggregateSpec]:
+    """Final-phase spec rewrite (exposed for the planner's tests)."""
+    return [
+        replace(s, func="sum") if s.func == "count" and not s.distinct else s
+        for s in specs
+    ]
+
+
+# ---------------------------------------------------------------------------
+# joins
+
+
+def hash_join(
+    left: RowSet,
+    right: RowSet,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    how: str = "inner",
+) -> RowSet:
+    """Hash join; the smaller side should be ``right`` (build side).
+
+    Output columns: all left columns then all right non-key columns (key
+    columns are equal by definition; duplicated names get a ``_r`` suffix).
+    """
+    if how not in ("inner", "left"):
+        raise ValueError(f"unsupported join type {how!r}")
+    if len(left_keys) != len(right_keys):
+        raise ValueError("join key lists differ in length")
+
+    build: Dict[tuple, List[int]] = {}
+    right_key_cols = [right.column(k) for k in right_keys]
+    for i in range(right.num_rows):
+        key = tuple(c[i] for c in right_key_cols)
+        build.setdefault(key, []).append(i)
+
+    left_key_cols = [left.column(k) for k in left_keys]
+    left_idx: List[int] = []
+    right_idx: List[int] = []
+    unmatched: List[int] = []
+    for i in range(left.num_rows):
+        key = tuple(c[i] for c in left_key_cols)
+        matches = build.get(key)
+        if matches:
+            left_idx.extend([i] * len(matches))
+            right_idx.extend(matches)
+        elif how == "left":
+            unmatched.append(i)
+
+    left_indices = np.asarray(left_idx + unmatched, dtype=np.int64)
+    right_indices = np.asarray(right_idx, dtype=np.int64)
+
+    out_cols: Dict[str, np.ndarray] = {}
+    schema_cols: List[SchemaColumn] = []
+    for c in left.schema.columns:
+        out_cols[c.name] = left.column(c.name)[left_indices]
+        schema_cols.append(c)
+
+    n_matched = len(right_idx)
+    n_out = len(left_indices)
+    # Right key columns are retained: later plan stages may reference them
+    # (column names are globally unique, so there is no collision; for the
+    # matched rows their values equal the left keys by definition).
+    for c in right.schema.columns:
+        name = c.name if c.name not in out_cols else c.name + "_r"
+        values = right.column(c.name)[right_indices]
+        if n_out > n_matched:  # left join padding with NULL/zero
+            if values.dtype.kind == "O":
+                pad = np.full(n_out - n_matched, None, dtype=object)
+            elif values.dtype.kind == "f":
+                pad = np.full(n_out - n_matched, np.nan)
+            else:
+                pad = np.zeros(n_out - n_matched, dtype=values.dtype)
+            values = np.concatenate([values, pad])
+        out_cols[name] = values
+        schema_cols.append(SchemaColumn(name, c.ctype))
+    return RowSet(TableSchema(schema_cols), out_cols)
+
+
+# ---------------------------------------------------------------------------
+# sort / limit
+
+
+def sort_limit(
+    rows: RowSet,
+    order: Sequence[Tuple[str, bool]],
+    limit: Optional[int] = None,
+) -> RowSet:
+    """ORDER BY (name, ascending) pairs, then optional LIMIT."""
+    indices = np.arange(rows.num_rows)
+    for name, ascending in reversed(list(order)):
+        column = rows.column(name)[indices]
+        if column.dtype.kind == "O":
+            # Python's sort is stable in both directions.
+            sorter = sorted(
+                range(len(column)),
+                key=lambda i: (column[i] is None, column[i] if column[i] is not None else ""),
+                reverse=not ascending,
+            )
+            sorter = np.asarray(sorter, dtype=np.int64)
+        elif ascending:
+            sorter = np.argsort(column, kind="stable")
+        else:
+            # Stable descending: negate (bools promote to int first).
+            sorter = np.argsort(-column.astype(np.float64), kind="stable")
+        indices = indices[sorter]
+    if limit is not None:
+        indices = indices[:limit]
+    return rows.take(indices)

@@ -1,0 +1,13 @@
+"""Data load (COPY) and DML: the Figure 8 write path.
+
+Loads split input rows by shard, sort each slice by the projection's sort
+order, write container files through the writer's cache, upload to shared
+storage and push to peer subscribers' caches *before* commit — so a
+committed transaction can never lose data files to node failure, and a
+node taking over for a failed peer starts with a warm cache.
+"""
+
+from repro.load.copy import CopyReport, copy_into
+from repro.load.dml import delete_from, update_table
+
+__all__ = ["copy_into", "CopyReport", "delete_from", "update_table"]

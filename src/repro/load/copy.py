@@ -1,0 +1,257 @@
+"""Bulk load: the data load workflow of Figure 8 (section 4.5).
+
+1. Ingest data on the participating writer nodes.
+2. Split by shard ("an executor which is responsible for multiple shards
+   will locally split the output data into separate streams for each
+   shard, resulting in storage containers that contain data for exactly
+   one shard"), sort each stream by the projection sort order, and write
+   container files into the writer's cache.
+3. Upload the files to shared storage and push them to the caches of the
+   other subscribers of each shard.
+4. Commit: "the commit point for the statement occurs when upload to the
+   shared storage completes" — metadata for the new files is distributed
+   to subscribers in the commit.
+
+Intra-node partitioning: when the table declares ``PARTITION BY``, each
+shard stream is further split by partition key so any container holds a
+single key, enabling partition pruning (section 2.1).
+
+Live aggregate projections are maintained at load time: each batch's
+partial aggregates are computed, segmented, and written as LAP containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.disk_cache import ObjectInfo
+from repro.catalog.mvcc import op_add_container
+from repro.catalog.objects import LiveAggregateProjection, Projection, Table
+from repro.cluster.transactions import Transaction
+from repro.engine.expressions import ColumnRef
+from repro.engine.operators import AggregateSpec, aggregate, partial_specs
+from repro.errors import CatalogError
+from repro.sharding.shard import REPLICA_SHARD_ID
+from repro.storage.container import (
+    ROSContainer,
+    RowSet,
+    container_stats,
+    write_container,
+)
+
+
+@dataclass
+class CopyReport:
+    """Outcome of one COPY statement."""
+
+    rows_loaded: int = 0
+    containers_written: int = 0
+    bytes_written: int = 0
+    io_seconds: float = 0.0
+    version: int = 0
+    peer_pushes: int = 0
+
+
+def copy_into(
+    cluster,
+    table_name: str,
+    rows: RowSet,
+    use_cache: bool = True,
+    epoch: int = 0,
+) -> CopyReport:
+    """Load ``rows`` into every projection of ``table_name`` and commit."""
+    coordinator_node = cluster.any_up_node()
+    state = coordinator_node.catalog.state
+    table = state.table(table_name)
+    provided = set(rows.schema.names)
+    if table.flattened and provided == set(table.base_columns):
+        # Flattened table: derive the denormalised columns by joining
+        # against their dimension tables at load time (section 2.1).
+        from repro.load.flattened import apply_flattening
+
+        rows = apply_flattening(cluster, table, rows.select(table.base_columns))
+    elif provided != set(table.schema.names):
+        raise CatalogError(
+            f"COPY input columns {rows.schema.names} do not match table "
+            f"schema {table.schema.names}"
+        )
+    rows = rows.select(table.schema.names)
+
+    report = CopyReport(rows_loaded=rows.num_rows)
+    txn = Transaction()
+    txn.write_set.record(("table", table_name), coordinator_node.catalog.versions.version_of(("table", table_name)))
+
+    for projection in state.projections_of(table_name):
+        if projection.is_buddy:
+            continue  # Eon mode has no buddy projections
+        _load_projection(cluster, table, projection, rows, txn, report, use_cache)
+
+    for lap in state.live_aggs_of(table_name):
+        _load_live_aggregate(cluster, table, lap, rows, txn, report, use_cache)
+
+    report.version = cluster.commit(txn, epoch=epoch)
+    return report
+
+
+# ---------------------------------------------------------------------------
+
+
+def _load_projection(
+    cluster,
+    table: Table,
+    projection: Projection,
+    rows: RowSet,
+    txn: Transaction,
+    report: CopyReport,
+    use_cache: bool,
+) -> None:
+    proj_rows = rows.select(list(projection.columns))
+    if projection.segmentation.is_replicated:
+        # "Replicated projections use just a single participating node as
+        # the writer."
+        writer = cluster.writer_for_shard(REPLICA_SHARD_ID)
+        _write_shard_containers(
+            cluster,
+            table,
+            projection.name,
+            REPLICA_SHARD_ID,
+            writer,
+            proj_rows,
+            tuple(projection.sort_order),
+            txn,
+            report,
+            use_cache,
+        )
+        return
+    by_shard = cluster.shard_map.split_rowset(
+        proj_rows, list(projection.segmentation.columns)
+    )
+    for shard_id, shard_rows in sorted(by_shard.items()):
+        writer = cluster.writer_for_shard(shard_id)
+        txn.expect_subscription(shard_id, writer)
+        _write_shard_containers(
+            cluster,
+            table,
+            projection.name,
+            shard_id,
+            writer,
+            shard_rows,
+            tuple(projection.sort_order),
+            txn,
+            report,
+            use_cache,
+        )
+
+
+def _load_live_aggregate(
+    cluster,
+    table: Table,
+    lap: LiveAggregateProjection,
+    rows: RowSet,
+    txn: Transaction,
+    report: CopyReport,
+    use_cache: bool,
+) -> None:
+    """Compute this batch's partial aggregates and store them as LAP data."""
+    specs = [
+        AggregateSpec(a.func, ColumnRef(a.argument) if a.argument else None, a.output_name)
+        for a in lap.aggregates
+    ]
+    # Partial state: avg would decompose, but LAP definitions use
+    # sum/count/min/max directly, which are their own partial state.
+    partial = aggregate(rows, list(lap.group_by), specs, mode="complete")
+    if lap.segmentation.is_replicated:
+        writer = cluster.writer_for_shard(REPLICA_SHARD_ID)
+        _write_shard_containers(
+            cluster, table, lap.name, REPLICA_SHARD_ID, writer, partial,
+            tuple(lap.group_by), txn, report, use_cache,
+        )
+        return
+    by_shard = cluster.shard_map.split_rowset(
+        partial, list(lap.segmentation.columns)
+    )
+    for shard_id, shard_rows in sorted(by_shard.items()):
+        writer = cluster.writer_for_shard(shard_id)
+        txn.expect_subscription(shard_id, writer)
+        _write_shard_containers(
+            cluster, table, lap.name, shard_id, writer, shard_rows,
+            tuple(lap.group_by), txn, report, use_cache,
+        )
+
+
+def _write_shard_containers(
+    cluster,
+    table: Table,
+    projection_name: str,
+    shard_id: int,
+    writer_name: str,
+    shard_rows: RowSet,
+    sort_order: Tuple[str, ...],
+    txn: Transaction,
+    report: CopyReport,
+    use_cache: bool,
+) -> None:
+    """Sort, partition, serialise, cache, upload, peer-push one stream."""
+    if shard_rows.num_rows == 0:
+        return
+    writer = cluster.nodes[writer_name]
+    partitions: List[Tuple[Optional[object], RowSet]]
+    if table.partition_by is not None and table.partition_by in shard_rows.schema:
+        partitions = _split_by_partition(shard_rows, table.partition_by)
+    else:
+        partitions = [(None, shard_rows)]
+
+    for partition_key, part in partitions:
+        sorted_rows = part.sort_by(list(sort_order)) if sort_order else part
+        data = write_container(sorted_rows)
+        sid = writer.sid_factory.next_sid()
+        info = ObjectInfo(
+            table=table.name,
+            projection=projection_name,
+            partition_key=partition_key,
+            shard_id=shard_id,
+        )
+        report.io_seconds += writer.write_storage(
+            str(sid), data, cluster.shared_data, info=info, use_cache=use_cache
+        )
+        report.bytes_written += len(data)
+        report.containers_written += 1
+        # Push to the other subscribers' caches so a takeover node is warm.
+        for peer_name in cluster.active_up_subscribers(shard_id):
+            if peer_name == writer_name:
+                continue
+            peer = cluster.nodes[peer_name]
+            if use_cache and peer.cache.put(str(sid), data, info=info):
+                report.peer_pushes += 1
+        mins, maxs = container_stats(sorted_rows)
+        txn.add_op(
+            op_add_container(
+                ROSContainer(
+                    sid=sid,
+                    projection=projection_name,
+                    shard_id=shard_id,
+                    row_count=sorted_rows.num_rows,
+                    size_bytes=len(data),
+                    min_values=mins,
+                    max_values=maxs,
+                    partition_key=partition_key,
+                    creation_version=0,
+                )
+            )
+        )
+
+
+def _split_by_partition(rows: RowSet, partition_by: str) -> List[Tuple[object, RowSet]]:
+    column = rows.column(partition_by)
+    out: List[Tuple[object, RowSet]] = []
+    if column.dtype.kind == "O":
+        for key in sorted({v for v in column}, key=lambda v: (v is None, v)):
+            mask = np.fromiter((v == key for v in column), dtype=bool, count=len(column))
+            out.append((key, rows.filter(mask)))
+        return out
+    for key in np.unique(column):
+        out.append((key.item(), rows.filter(column == key)))
+    return out

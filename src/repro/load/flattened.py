@@ -1,0 +1,84 @@
+"""Flattened tables (section 2.1): load-time denormalisation + refresh.
+
+"Vertica supports a mechanism called Flattened Tables that performs
+arbitrary denormalization using joins at load time while also providing a
+refresh mechanism for updating the denormalized table columns when the
+joined dimension table changes."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.catalog.objects import Table
+from repro.cluster.transactions import Transaction
+from repro.errors import CatalogError
+from repro.storage.container import RowSet
+
+
+def apply_flattening(cluster, table: Table, rows: RowSet) -> RowSet:
+    """Fill the table's flattened columns by joining against their
+    dimension tables; ``rows`` supplies only the base columns."""
+    columns: Dict[str, np.ndarray] = {
+        name: rows.column(name) for name in rows.schema.names
+    }
+    for spec in table.flattened:
+        lookup = _dimension_lookup(cluster, spec)
+        fact_keys = rows.column(spec.fact_key)
+        ctype = table.schema.column(spec.output).ctype
+        values = [lookup.get(_scalar(k)) for k in fact_keys]
+        columns[spec.output] = ctype.coerce(values)
+    return RowSet(table.schema, {c.name: columns[c.name] for c in table.schema.columns})
+
+
+def refresh_flattened(cluster, table_name: str, epoch: int = 0) -> int:
+    """Re-derive every flattened column from the current dimension data.
+
+    Modelled like an UPDATE: the old containers are tombstoned and new
+    containers with refreshed values are written, in one transaction.
+    Returns the number of rows refreshed.
+    """
+    from repro.load.copy import CopyReport, _load_live_aggregate, _load_projection
+    from repro.load.dml import delete_from
+
+    node = cluster.any_up_node()
+    state = node.catalog.state
+    table = state.table(table_name)
+    if not table.flattened:
+        raise CatalogError(f"table {table_name!r} has no flattened columns")
+
+    txn = Transaction()
+    deleted: List[RowSet] = []
+    count = delete_from(
+        cluster, table_name, None, epoch, _txn=txn, _collect_deleted=deleted
+    )
+    if count == 0:
+        return 0
+    old_rows = RowSet.concat(deleted).select(table.schema.names)
+    base = old_rows.select(table.base_columns)
+    refreshed = apply_flattening(cluster, table, base)
+
+    report = CopyReport()
+    for projection in state.projections_of(table_name):
+        if not projection.is_buddy:
+            _load_projection(cluster, table, projection, refreshed, txn, report, True)
+    for lap in state.live_aggs_of(table_name):
+        _load_live_aggregate(cluster, table, lap, refreshed, txn, report, True)
+    cluster.commit(txn, epoch=epoch)
+    return count
+
+
+def _dimension_lookup(cluster, spec) -> Dict[object, object]:
+    """key -> value map over the dimension table's current contents."""
+    result = cluster.query(
+        f"select {spec.source_key}, {spec.source_column} from {spec.source_table}"
+    )
+    keys = result.rows.column(spec.source_key)
+    values = result.rows.column(spec.source_column)
+    return {_scalar(k): _scalar(v) for k, v in zip(keys, values)}
+
+
+def _scalar(value):
+    return value.item() if isinstance(value, np.generic) else value

@@ -1,0 +1,28 @@
+"""Sharding: the core Eon-mode mechanism (sections 3 and 4.1).
+
+* :class:`ShardMap` — fixed division of the 32-bit hash space into segment
+  shards, plus the replica shard for replicated projections.
+* :class:`SubscriptionState` / :class:`Subscription` — the node-to-shard
+  subscription state machine of Figure 4.
+* :func:`select_participating_subscriptions` — the max-flow session layout
+  algorithm of Figure 6, with balance rounds, priority tiers, and
+  edge-order variation.
+"""
+
+from repro.sharding.assignment import (
+    AssignmentError,
+    select_participating_subscriptions,
+)
+from repro.sharding.maxflow import FlowNetwork
+from repro.sharding.shard import REPLICA_SHARD_ID, ShardMap
+from repro.sharding.subscription import Subscription, SubscriptionState
+
+__all__ = [
+    "ShardMap",
+    "REPLICA_SHARD_ID",
+    "Subscription",
+    "SubscriptionState",
+    "FlowNetwork",
+    "select_participating_subscriptions",
+    "AssignmentError",
+]

@@ -1,0 +1,91 @@
+"""Subscription state machine (section 3.3, Figure 4).
+
+A node that wants to serve a shard creates a subscription in PENDING; the
+subscription service transfers metadata and marks it PASSIVE (it can now
+participate in commits and be promoted if all other subscribers fail); the
+cache-warming service optionally warms the cache and the subscription
+becomes ACTIVE, serving queries.  Unsubscribing goes through REMOVING — the
+node keeps serving queries until enough other ACTIVE subscribers exist,
+then drops metadata and cache contents.
+
+Node recovery demotes the node's ACTIVE subscriptions back to PENDING,
+"effectively forcing a re-subscription" with incremental metadata and
+cache transfer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Optional
+
+
+class SubscriptionState(enum.Enum):
+    PENDING = "PENDING"
+    PASSIVE = "PASSIVE"
+    ACTIVE = "ACTIVE"
+    REMOVING = "REMOVING"
+
+    @property
+    def serves_queries(self) -> bool:
+        """ACTIVE serves queries; REMOVING keeps serving until dropped."""
+        return self in (SubscriptionState.ACTIVE, SubscriptionState.REMOVING)
+
+    @property
+    def participates_in_commit(self) -> bool:
+        """PASSIVE and above receive shard metadata at commit (section 3.2)."""
+        return self in (
+            SubscriptionState.PASSIVE,
+            SubscriptionState.ACTIVE,
+            SubscriptionState.REMOVING,
+        )
+
+
+#: Legal transitions (Figure 4).  ``None`` stands for no subscription.
+_TRANSITIONS: Dict[Optional[SubscriptionState], FrozenSet[Optional[SubscriptionState]]] = {
+    None: frozenset({SubscriptionState.PENDING}),
+    SubscriptionState.PENDING: frozenset(
+        {SubscriptionState.PASSIVE, None}  # drop on failure to subscribe
+    ),
+    SubscriptionState.PASSIVE: frozenset(
+        {
+            SubscriptionState.ACTIVE,
+            SubscriptionState.PENDING,  # recovery restart
+            None,
+        }
+    ),
+    SubscriptionState.ACTIVE: frozenset(
+        {
+            SubscriptionState.REMOVING,
+            SubscriptionState.PENDING,  # node recovery: forced re-subscription
+        }
+    ),
+    SubscriptionState.REMOVING: frozenset(
+        {None, SubscriptionState.ACTIVE}  # removal abandoned -> serve again
+    ),
+}
+
+
+def validate_transition(
+    current: Optional[SubscriptionState], target: Optional[SubscriptionState]
+) -> None:
+    """Raise ``ValueError`` on an illegal Figure-4 transition."""
+    allowed = _TRANSITIONS[current]
+    if target not in allowed:
+        raise ValueError(
+            f"illegal subscription transition {current} -> {target}; "
+            f"allowed: {sorted(str(s) for s in allowed)}"
+        )
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One (node, shard) subscription edge."""
+
+    node: str
+    shard_id: int
+    state: SubscriptionState
+
+    def transitioned(self, target: SubscriptionState) -> "Subscription":
+        validate_transition(self.state, target)
+        return replace(self, state=target)

@@ -1,0 +1,29 @@
+"""Shared-storage layer: the UDFS API and its backends (section 5).
+
+The execution engine accesses all filesystems through the UDFS abstraction
+(Figure 9).  Backends provided:
+
+* :class:`LocalFilesystem` — real POSIX directory tree (rename/append work).
+* :class:`MemoryFilesystem` — in-process POSIX-semantics store for tests.
+* :class:`SimulatedS3` — object-store semantics: immutable objects, no
+  rename/append, list-prefix instead of HEAD, injected transient faults,
+  latency and per-request dollar-cost accounting.
+"""
+
+from repro.shared_storage.api import Filesystem, StorageMetrics, retrying
+from repro.shared_storage.hdfs import HdfsLatencyModel, SimulatedHDFS
+from repro.shared_storage.posix import LocalFilesystem, MemoryFilesystem
+from repro.shared_storage.s3 import S3CostModel, S3LatencyModel, SimulatedS3
+
+__all__ = [
+    "Filesystem",
+    "StorageMetrics",
+    "retrying",
+    "LocalFilesystem",
+    "MemoryFilesystem",
+    "SimulatedS3",
+    "S3CostModel",
+    "S3LatencyModel",
+    "SimulatedHDFS",
+    "HdfsLatencyModel",
+]

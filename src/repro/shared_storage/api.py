@@ -1,0 +1,228 @@
+"""The user-defined filesystem (UDFS) API — section 5.3, Figure 9.
+
+All engine file access goes through :class:`Filesystem` so the same scan,
+load, and catalog code runs against POSIX, the simulated S3, or anything a
+user plugs in.  The interface deliberately omits ``exists``-via-HEAD: the
+paper notes that a HEAD probe downgrades S3's read-after-write consistency
+for new objects, so Vertica checks existence with the *list* API.  We bake
+that into the interface: existence checks are spelled ``fs.contains(name)``
+and backends implement it with their listing primitive.
+
+Shared-storage operations can (and will) fail transiently; :func:`retrying`
+is the "properly balanced retry loop" the paper requires, with exponential
+backoff charged to the metrics object rather than wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, TypeVar
+
+from repro.errors import StorageError, TransientStorageError
+
+
+@dataclass
+class StorageMetrics:
+    """Request/byte/latency/cost accounting for one backend instance."""
+
+    get_requests: int = 0
+    put_requests: int = 0
+    list_requests: int = 0
+    delete_requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    sim_seconds: float = 0.0
+    dollars: float = 0.0
+    transient_failures: int = 0
+    retry_backoff_seconds: float = 0.0
+
+    @property
+    def total_requests(self) -> int:
+        return (
+            self.get_requests
+            + self.put_requests
+            + self.list_requests
+            + self.delete_requests
+        )
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0.0 if "seconds" in name or name == "dollars" else 0)
+
+
+class Filesystem(abc.ABC):
+    """Abstract UDFS backend."""
+
+    def __init__(self) -> None:
+        self.metrics = StorageMetrics()
+
+    # -- required operations --------------------------------------------------
+
+    @abc.abstractmethod
+    def write(self, name: str, data: bytes) -> None:
+        """Create object ``name`` with ``data``.
+
+        Library code never overwrites: storage names are globally unique
+        SIDs and files are immutable once written (section 5.1).  Backends
+        may reject overwrites of existing objects.
+        """
+
+    @abc.abstractmethod
+    def read(self, name: str) -> bytes:
+        """Return the full contents of ``name``; ObjectNotFound if absent."""
+
+    @abc.abstractmethod
+    def list(self, prefix: str = "") -> List[str]:
+        """All object names starting with ``prefix``, sorted."""
+
+    @abc.abstractmethod
+    def delete(self, name: str) -> None:
+        """Remove ``name``; deleting a missing object is not an error
+        (delete must be idempotent for crash-retry safety)."""
+
+    @abc.abstractmethod
+    def size(self, name: str) -> int:
+        """Byte size of ``name``; ObjectNotFound if absent."""
+
+    # -- derived operations ----------------------------------------------------
+
+    def contains(self, name: str) -> bool:
+        """Existence check via the list API (never HEAD — see module doc)."""
+        return name in self.list(prefix=name)
+
+    # -- optional POSIX features (section 5: S3 lacks these) -------------------
+
+    def rename(self, old: str, new: str) -> None:
+        raise StorageError(f"{type(self).__name__} does not support rename")
+
+    def append(self, name: str, data: bytes) -> None:
+        raise StorageError(f"{type(self).__name__} does not support append")
+
+    # -- cost estimation (used by the engine's cost model) ---------------------
+
+    def estimate_read_seconds(self, nbytes: int) -> float:
+        return 0.0
+
+    def estimate_write_seconds(self, nbytes: int) -> float:
+        return 0.0
+
+
+T = TypeVar("T")
+
+#: Default retry schedule: attempts and the base backoff (simulated seconds).
+DEFAULT_MAX_ATTEMPTS = 5
+DEFAULT_BACKOFF = 0.05
+
+
+def retrying(
+    operation: Callable[[], T],
+    metrics: StorageMetrics | None = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    base_backoff: float = DEFAULT_BACKOFF,
+) -> T:
+    """Run ``operation`` with exponential backoff on transient failures.
+
+    Non-transient :class:`StorageError` propagates immediately (queries must
+    stay cancellable; only throttling/internal errors are retried).
+    """
+    attempt = 0
+    while True:
+        try:
+            return operation()
+        except TransientStorageError:
+            attempt += 1
+            if attempt >= max_attempts:
+                raise
+            if metrics is not None:
+                metrics.retry_backoff_seconds += base_backoff * (2 ** (attempt - 1))
+
+
+class RetryingFilesystem(Filesystem):
+    """Decorator applying the retry loop to every operation of a backend.
+
+    Catalog sync, cluster_info writes, and revive downloads run through
+    this wrapper so transient S3 failures cannot break the durability
+    pipeline (section 5.3's "properly balanced retry loop").
+    """
+
+    def __init__(self, base: Filesystem, max_attempts: int = DEFAULT_MAX_ATTEMPTS):
+        super().__init__()
+        self._base = base
+        self._max_attempts = max_attempts
+        self.metrics = base.metrics
+
+    def _retry(self, operation):
+        return retrying(operation, self.metrics, max_attempts=self._max_attempts)
+
+    def write(self, name: str, data: bytes) -> None:
+        self._retry(lambda: self._base.write(name, data))
+
+    def read(self, name: str) -> bytes:
+        return self._retry(lambda: self._base.read(name))
+
+    def list(self, prefix: str = "") -> List[str]:
+        return self._retry(lambda: self._base.list(prefix))
+
+    def delete(self, name: str) -> None:
+        self._retry(lambda: self._base.delete(name))
+
+    def size(self, name: str) -> int:
+        return self._retry(lambda: self._base.size(name))
+
+    def rename(self, old: str, new: str) -> None:
+        self._retry(lambda: self._base.rename(old, new))
+
+    def append(self, name: str, data: bytes) -> None:
+        self._retry(lambda: self._base.append(name, data))
+
+    def estimate_read_seconds(self, nbytes: int) -> float:
+        return self._base.estimate_read_seconds(nbytes)
+
+    def estimate_write_seconds(self, nbytes: int) -> float:
+        return self._base.estimate_write_seconds(nbytes)
+
+
+class PrefixView(Filesystem):
+    """A namespaced view over another filesystem.
+
+    Used to give each database (and each incarnation) its own region of the
+    shared-storage namespace without copying data.
+    """
+
+    def __init__(self, base: Filesystem, prefix: str):
+        super().__init__()
+        self._base = base
+        self._prefix = prefix
+        self.metrics = base.metrics  # share accounting with the base store
+
+    def _full(self, name: str) -> str:
+        return self._prefix + name
+
+    def write(self, name: str, data: bytes) -> None:
+        self._base.write(self._full(name), data)
+
+    def read(self, name: str) -> bytes:
+        return self._base.read(self._full(name))
+
+    def list(self, prefix: str = "") -> List[str]:
+        plen = len(self._prefix)
+        return [n[plen:] for n in self._base.list(self._full(prefix))]
+
+    def delete(self, name: str) -> None:
+        self._base.delete(self._full(name))
+
+    def size(self, name: str) -> int:
+        return self._base.size(self._full(name))
+
+    def rename(self, old: str, new: str) -> None:
+        self._base.rename(self._full(old), self._full(new))
+
+    def append(self, name: str, data: bytes) -> None:
+        self._base.append(self._full(name), data)
+
+    def estimate_read_seconds(self, nbytes: int) -> float:
+        return self._base.estimate_read_seconds(nbytes)
+
+    def estimate_write_seconds(self, nbytes: int) -> float:
+        return self._base.estimate_write_seconds(nbytes)

@@ -1,0 +1,159 @@
+"""Simulated S3: object-store semantics, latency, faults, and dollar cost.
+
+The paper's Eon deployments back onto Amazon S3 (section 5.3).  We cannot
+reach S3 from this environment, so this backend reproduces the *semantics
+and failure surface* the Eon code must handle:
+
+* objects are immutable — no rename, no append; overwriting an existing
+  object is rejected because library code never overwrites (SIDs are
+  globally unique) and accidental overwrite indicates a bug;
+* existence is checked via the list API (HEAD-then-write downgrades the
+  consistency guarantee, so the base class's ``contains`` is list-based);
+* any request can fail transiently (throttling, internal errors) — the
+  fault injector raises :class:`TransientStorageError` from a seeded RNG so
+  tests exercise the mandatory retry loop deterministically;
+* requests have latency dominated by a per-request component, so large
+  requests amortise better than small ones — the regime that drives the
+  paper's "larger request sizes than local disk" tuning advice;
+* requests cost dollars, accounted per the published S3 price card.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ObjectNotFound, StorageError, TransientStorageError
+from repro.shared_storage.api import Filesystem
+
+
+@dataclass
+class S3LatencyModel:
+    """Seconds charged per operation: base per-request plus per-byte."""
+
+    request_seconds: float = 0.030  # first-byte latency
+    read_bandwidth: float = 90e6  # bytes / second per request stream
+    write_bandwidth: float = 60e6
+    list_seconds: float = 0.040
+
+    def read_seconds(self, nbytes: int) -> float:
+        return self.request_seconds + nbytes / self.read_bandwidth
+
+    def write_seconds(self, nbytes: int) -> float:
+        return self.request_seconds + nbytes / self.write_bandwidth
+
+
+@dataclass
+class S3CostModel:
+    """Dollar cost per operation (S3 standard pricing, us-east-1, 2018)."""
+
+    put_per_1k: float = 0.005
+    get_per_1k: float = 0.0004
+    list_per_1k: float = 0.005
+    storage_per_gb_month: float = 0.023  # informational; not accrued per op
+
+    def put_cost(self) -> float:
+        return self.put_per_1k / 1000.0
+
+    def get_cost(self) -> float:
+        return self.get_per_1k / 1000.0
+
+    def list_cost(self) -> float:
+        return self.list_per_1k / 1000.0
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic transient-fault source for S3 requests."""
+
+    failure_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def maybe_fail(self, operation: str) -> None:
+        if self.failure_rate > 0 and self._rng.random() < self.failure_rate:
+            raise TransientStorageError(
+                f"S3 transient failure during {operation} (injected)"
+            )
+
+
+class SimulatedS3(Filesystem):
+    """In-process S3 stand-in with the real thing's sharp edges."""
+
+    def __init__(
+        self,
+        latency: Optional[S3LatencyModel] = None,
+        cost: Optional[S3CostModel] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
+        super().__init__()
+        self.latency = latency or S3LatencyModel()
+        self.cost = cost or S3CostModel()
+        self.faults = faults or FaultInjector()
+        self._objects: Dict[str, bytes] = {}
+
+    # -- core operations -------------------------------------------------------
+
+    def write(self, name: str, data: bytes) -> None:
+        self.faults.maybe_fail("PUT")
+        if name in self._objects:
+            raise StorageError(
+                f"refusing to overwrite immutable object {name!r}"
+            )
+        self._objects[name] = bytes(data)
+        self.metrics.put_requests += 1
+        self.metrics.bytes_written += len(data)
+        self.metrics.sim_seconds += self.latency.write_seconds(len(data))
+        self.metrics.dollars += self.cost.put_cost()
+
+    def read(self, name: str) -> bytes:
+        self.faults.maybe_fail("GET")
+        try:
+            data = self._objects[name]
+        except KeyError:
+            raise ObjectNotFound(name) from None
+        self.metrics.get_requests += 1
+        self.metrics.bytes_read += len(data)
+        self.metrics.sim_seconds += self.latency.read_seconds(len(data))
+        self.metrics.dollars += self.cost.get_cost()
+        return data
+
+    def list(self, prefix: str = "") -> List[str]:
+        self.faults.maybe_fail("LIST")
+        self.metrics.list_requests += 1
+        self.metrics.sim_seconds += self.latency.list_seconds
+        self.metrics.dollars += self.cost.list_cost()
+        return sorted(n for n in self._objects if n.startswith(prefix))
+
+    def delete(self, name: str) -> None:
+        self.faults.maybe_fail("DELETE")
+        self.metrics.delete_requests += 1
+        self._objects.pop(name, None)  # idempotent, as on real S3
+
+    def size(self, name: str) -> int:
+        # Size comes from list metadata in real deployments; free here.
+        try:
+            return len(self._objects[name])
+        except KeyError:
+            raise ObjectNotFound(name) from None
+
+    # -- cost estimation --------------------------------------------------------
+
+    def estimate_read_seconds(self, nbytes: int) -> float:
+        return self.latency.read_seconds(nbytes)
+
+    def estimate_write_seconds(self, nbytes: int) -> float:
+        return self.latency.write_seconds(nbytes)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(v) for v in self._objects.values())

@@ -1,0 +1,192 @@
+"""An interactive vsql-style shell over an in-process Eon cluster.
+
+    python -m repro.shell --nodes 3 --shards 3
+
+SQL statements end with ``;``.  Backslash meta-commands mirror vsql's:
+
+    \\dt           list tables
+    \\dp           list projections and subscriptions
+    \\nodes        node states, cache stats
+    \\plan         toggle plan printing
+    \\stats        stats of the last query
+    \\kill NODE    kill a node
+    \\recover NODE recover a node
+    \\q            quit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Iterable, List, Optional
+
+from repro import EonCluster
+from repro.bench.reporting import format_table
+from repro.errors import ReproError
+
+
+class Shell:
+    def __init__(self, cluster: EonCluster, write: Callable[[str], None]):
+        self.cluster = cluster
+        self.write = write
+        self.show_plans = False
+        self.last_stats = None
+        self._buffer: List[str] = []
+
+    # -- driving ------------------------------------------------------------------
+
+    def feed(self, line: str) -> bool:
+        """Process one input line; returns False when the shell should exit."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("\\"):
+            return self._meta(stripped)
+        if not stripped:
+            return True
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            sql = "\n".join(self._buffer)
+            self._buffer = []
+            self._run_sql(sql)
+        return True
+
+    def run(self, lines: Iterable[str]) -> None:
+        for line in lines:
+            if not self.feed(line):
+                return
+
+    # -- SQL ----------------------------------------------------------------------
+
+    def _run_sql(self, sql: str) -> None:
+        try:
+            result = self.cluster.execute(sql)
+        except ReproError as exc:
+            self.write(f"ERROR: {exc}")
+            return
+        from repro.engine.executor import QueryResult
+        from repro.load.copy import CopyReport
+
+        if isinstance(result, QueryResult):
+            self.last_stats = result.stats
+            rows = result.rows
+            self.write(format_table(
+                f"({rows.num_rows} rows)", rows.schema.names, rows.to_pylist()
+            ))
+            if self.show_plans:
+                self.write(result.plan.describe())
+            self.write(
+                f"time: {result.stats.latency_seconds * 1000:.2f} ms (simulated)"
+            )
+        elif isinstance(result, CopyReport):
+            self.write(
+                f"COPY {result.rows_loaded} rows, "
+                f"{result.containers_written} containers, "
+                f"version {result.version}"
+            )
+        else:
+            self.write(f"OK (version {self.cluster.version})")
+
+    # -- meta commands ----------------------------------------------------------------
+
+    def _meta(self, command: str) -> bool:
+        parts = command.split()
+        name, args = parts[0], parts[1:]
+        if name in ("\\q", "\\quit"):
+            self.write("bye")
+            return False
+        if name == "\\dt":
+            state = self.cluster.any_up_node().catalog.state
+            rows = [
+                [t.name, ", ".join(t.schema.names), t.partition_by or ""]
+                for t in sorted(state.tables.values(), key=lambda t: t.name)
+            ]
+            self.write(format_table("tables", ["name", "columns", "partition by"], rows))
+        elif name == "\\dp":
+            state = self.cluster.any_up_node().catalog.state
+            rows = []
+            for p in sorted(state.projections.values(), key=lambda p: p.name):
+                seg = (
+                    "replicated"
+                    if p.segmentation.is_replicated
+                    else f"hash({', '.join(p.segmentation.columns)})"
+                )
+                rows.append([p.name, p.anchor_table, seg, ", ".join(p.sort_order)])
+            self.write(format_table(
+                "projections", ["name", "table", "segmentation", "sort"], rows
+            ))
+        elif name == "\\nodes":
+            rows = []
+            for node in self.cluster.nodes.values():
+                shards = sorted(node.catalog.subscribed_shards or ())
+                rows.append([
+                    node.name, node.state.value, str(shards),
+                    node.cache.file_count, f"{node.cache.stats.hit_rate:.0%}",
+                ])
+            self.write(format_table(
+                "nodes", ["name", "state", "shards", "cached files", "hit rate"], rows
+            ))
+        elif name == "\\plan":
+            self.show_plans = not self.show_plans
+            self.write(f"plan printing {'on' if self.show_plans else 'off'}")
+        elif name == "\\stats":
+            if self.last_stats is None:
+                self.write("no query yet")
+            else:
+                s = self.last_stats
+                self.write(
+                    f"latency={s.latency_seconds * 1000:.2f}ms "
+                    f"rows={s.total_rows_scanned} "
+                    f"cache={s.total_bytes_from_cache}B "
+                    f"s3={s.total_bytes_from_shared}B "
+                    f"net={s.network_bytes}B"
+                )
+        elif name == "\\kill" and args:
+            try:
+                self.cluster.kill_node(args[0])
+                self.write(f"killed {args[0]}")
+            except (ReproError, KeyError) as exc:
+                self.write(f"ERROR: {exc}")
+        elif name == "\\recover" and args:
+            try:
+                self.cluster.recover_node(args[0])
+                self.write(f"recovered {args[0]}")
+            except (ReproError, KeyError) as exc:
+                self.write(f"ERROR: {exc}")
+        elif name in ("\\h", "\\help", "\\?"):
+            self.write(__doc__ or "")
+        else:
+            self.write(f"unknown command {command!r} (try \\h)")
+        return True
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="repro Eon-mode SQL shell")
+    parser.add_argument("--nodes", type=int, default=3)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    options = parser.parse_args(argv)
+    cluster = EonCluster(
+        [f"node{i}" for i in range(options.nodes)],
+        shard_count=options.shards,
+        seed=options.seed,
+    )
+    print(f"repro shell — Eon mode, {options.nodes} nodes, "
+          f"{options.shards} shards.  \\h for help, \\q to quit.")
+    shell = Shell(cluster, print)
+
+    try:
+        while True:
+            prompt = "repro=> " if not shell._buffer else "repro-> "
+            sys.stdout.write(prompt)
+            sys.stdout.flush()
+            line = sys.stdin.readline()
+            if not line:
+                break
+            if not shell.feed(line):
+                break
+    except KeyboardInterrupt:
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""SQL statement AST.
+
+Expressions reuse :mod:`repro.engine.expressions` trees directly — the
+parser builds engine expressions, so no separate lowering step is needed.
+Aggregate calls inside a SELECT are represented with :class:`AggregateCall`
+placeholders that the binder later extracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.engine.expressions import Expr
+from repro.storage.container import RowSet
+
+
+class AggregateCall(Expr):
+    """A sum/count/avg/min/max call as it appears in a SELECT list."""
+
+    def __init__(self, func: str, argument: Optional[Expr], distinct: bool = False):
+        self.func = func
+        self.argument = argument
+        self.distinct = distinct
+
+    def evaluate(self, rows: RowSet) -> np.ndarray:
+        raise RuntimeError(
+            "AggregateCall must be extracted by the binder before evaluation"
+        )
+
+    def columns_used(self) -> Set[str]:
+        return self.argument.columns_used() if self.argument is not None else set()
+
+    def __repr__(self) -> str:
+        d = "distinct " if self.distinct else ""
+        return f"{self.func}({d}{self.argument!r})"
+
+
+class Star(Expr):
+    """``SELECT *`` placeholder; the binder expands it to all columns."""
+
+    def evaluate(self, rows: RowSet) -> np.ndarray:
+        raise RuntimeError("Star must be expanded by the binder")
+
+    def columns_used(self):
+        return set()
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+@dataclass
+class Statement:
+    """Base class for parsed statements."""
+
+
+@dataclass
+class TableRef:
+    name: str
+
+
+@dataclass
+class JoinClause:
+    table: TableRef
+    condition: Expr
+    how: str = "inner"
+
+
+@dataclass
+class OrderItem:
+    expr: Expr  # a ColumnRef, output alias reference, or arbitrary expr
+    ascending: bool = True
+
+
+@dataclass
+class Select(Statement):
+    items: List[Tuple[Expr, Optional[str]]]  # (expression, alias)
+    tables: List[TableRef]
+    joins: List[JoinClause] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+    distinct: bool = False
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: List[ColumnDef]
+    partition_by: Optional[str] = None
+
+
+@dataclass
+class CreateProjection(Statement):
+    name: str
+    table: str
+    columns: List[str]
+    order_by: List[str]
+    segmented_by: Optional[List[str]]  # None = UNSEGMENTED (replicated)
+
+
+@dataclass
+class AddColumn(Statement):
+    table: str
+    column: ColumnDef
+    default: Optional[Expr] = None
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    rows: List[List[object]]
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    assignments: List[Tuple[str, Expr]]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class DropTable(Statement):
+    name: str

@@ -1,0 +1,26 @@
+"""Columnar storage substrate: encodings, column files, ROS containers.
+
+This package implements the physical layer described in sections 2.1 and 2.3
+of the paper: immutable ROS containers storing complete sorted tuples
+per-column, with block min/max metadata and a position index in a file
+footer; delete vectors as separate tombstone storage; and the Write
+Optimized Store used only by the Enterprise-mode baseline.
+"""
+
+from repro.storage.column import ColumnFile, ColumnReader
+from repro.storage.container import ROSContainer, RowSet
+from repro.storage.delete_vector import DeleteVector
+from repro.storage.encoding import Encoding, decode_block, encode_block
+from repro.storage.wos import WOS
+
+__all__ = [
+    "ColumnFile",
+    "ColumnReader",
+    "ROSContainer",
+    "RowSet",
+    "DeleteVector",
+    "Encoding",
+    "encode_block",
+    "decode_block",
+    "WOS",
+]

@@ -1,0 +1,333 @@
+"""ROS containers and the in-memory columnar batch (:class:`RowSet`).
+
+A ROS container (section 2.3) "logically contains some number of complete
+tuples sorted by the projection's sort order, stored per column".  Once
+written, a container is immutable; deletes are recorded in separate delete
+vectors.  In Eon mode, "storage containers are partitioned by shard: each
+contains rows whose hash values map to a single shard's hash range"
+(section 4).
+
+This module provides:
+
+* :class:`RowSet` — the engine's working currency: a schema plus one numpy
+  array per column.
+* :class:`ROSContainer` — catalog-visible container metadata (SID, shard,
+  row count, per-column min/max for pruning, byte size, location).
+* :func:`write_container` / :func:`read_container` — the immutable
+  byte-image codec bundling every column file of one container into a
+  single shared-storage object (Vertica concatenates small column files to
+  cut file counts; bundling per container preserves that behaviour while
+  keeping one name per container).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.oid import StorageId
+from repro.common.types import ColumnType, TableSchema
+from repro.storage.column import ColumnFile, ColumnReader, DEFAULT_BLOCK_ROWS
+
+
+class RowSet:
+    """Immutable-by-convention columnar batch of rows."""
+
+    def __init__(self, schema: TableSchema, columns: Dict[str, np.ndarray]):
+        if set(columns) != set(schema.names):
+            raise ValueError(
+                f"columns {sorted(columns)} do not match schema {schema.names}"
+            )
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {lengths}")
+        self.schema = schema
+        self.columns = columns
+        self.num_rows = lengths.pop() if lengths else 0
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: TableSchema, rows: Iterable[Sequence[object]]) -> "RowSet":
+        rows = list(rows)
+        columns = {}
+        for i, col in enumerate(schema.columns):
+            columns[col.name] = col.ctype.coerce([r[i] for r in rows])
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: TableSchema) -> "RowSet":
+        return cls(schema, {c.name: c.ctype.coerce([]) for c in schema.columns})
+
+    @classmethod
+    def concat(cls, parts: Sequence["RowSet"]) -> "RowSet":
+        if not parts:
+            raise ValueError("concat of zero RowSets")
+        schema = parts[0].schema
+        columns = {}
+        for name in schema.names:
+            arrays = [p.column(name) for p in parts]
+            columns[name] = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+        return cls(schema, columns)
+
+    # -- accessors ---------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def to_rows(self) -> List[tuple]:
+        arrays = [self.columns[n] for n in self.schema.names]
+        return [tuple(a[i] for a in arrays) for i in range(self.num_rows)]
+
+    def to_pylist(self) -> List[tuple]:
+        """Rows as plain-Python tuples (numpy scalars unwrapped)."""
+        out = []
+        for row in self.to_rows():
+            out.append(tuple(v.item() if isinstance(v, np.generic) else v for v in row))
+        return out
+
+    # -- transformations -----------------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "RowSet":
+        return RowSet(self.schema.subset(names), {n: self.columns[n] for n in names})
+
+    def rename(self, mapping: Dict[str, str]) -> "RowSet":
+        new_schema = TableSchema(
+            [
+                replace(c, name=mapping.get(c.name, c.name))
+                for c in self.schema.columns
+            ]
+        )
+        new_cols = {mapping.get(n, n): v for n, v in self.columns.items()}
+        return RowSet(new_schema, new_cols)
+
+    def take(self, indices: np.ndarray) -> "RowSet":
+        return RowSet(
+            self.schema, {n: v[indices] for n, v in self.columns.items()}
+        )
+
+    def filter(self, mask: np.ndarray) -> "RowSet":
+        return RowSet(self.schema, {n: v[mask] for n, v in self.columns.items()})
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "RowSet":
+        return RowSet(
+            self.schema, {n: v[start:stop] for n, v in self.columns.items()}
+        )
+
+    def sort_by(self, order: Sequence[str], ascending: bool = True) -> "RowSet":
+        """Stable sort by the given columns (most significant first)."""
+        if not order:
+            return self
+        indices = np.arange(self.num_rows)
+        for name in reversed(list(order)):
+            col = self.columns[name][indices]
+            if col.dtype.kind == "O":
+                keys = np.array([(v is None, v if v is not None else "") for v in col], dtype=object)
+                sorter = sorted(range(len(col)), key=lambda i: (col[i] is None, col[i] if col[i] is not None else ""))
+                sorter = np.asarray(sorter, dtype=np.int64)
+            else:
+                sorter = np.argsort(col, kind="stable")
+            indices = indices[sorter]
+        if not ascending:
+            indices = indices[::-1]
+        return self.take(indices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RowSet):
+            return NotImplemented
+        if self.schema.names != other.schema.names or self.num_rows != other.num_rows:
+            return False
+        for name in self.schema.names:
+            a, b = self.columns[name], other.columns[name]
+            if a.dtype.kind == "O" or b.dtype.kind == "O":
+                if list(a) != list(b):
+                    return False
+            elif not np.array_equal(a, b):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"RowSet({self.schema.names}, {self.num_rows} rows)"
+
+
+# ---------------------------------------------------------------------------
+# container metadata
+
+
+@dataclass(frozen=True)
+class ROSContainer:
+    """Catalog metadata for one immutable ROS container.
+
+    ``shard_id`` is ``None`` for Enterprise mode (where containers belong to
+    nodes, not shards) and for replicated projections it names the replica
+    shard.  ``location`` is the shared-storage object name (the printable
+    SID).
+    """
+
+    sid: StorageId
+    projection: str
+    shard_id: Optional[int]
+    row_count: int
+    size_bytes: int
+    min_values: Tuple[Tuple[str, object], ...]
+    max_values: Tuple[Tuple[str, object], ...]
+    partition_key: Optional[object] = None
+    creation_version: int = 0
+
+    @property
+    def location(self) -> str:
+        return str(self.sid)
+
+    def min_of(self, column: str) -> object:
+        return dict(self.min_values).get(column)
+
+    def max_of(self, column: str) -> object:
+        return dict(self.max_values).get(column)
+
+    def with_version(self, version: int) -> "ROSContainer":
+        return replace(self, creation_version=version)
+
+
+# ---------------------------------------------------------------------------
+# container byte-image codec
+
+_MAGIC = b"RROS"
+_TRAILER = struct.Struct("<Q4s")
+
+
+def write_container(rowset: RowSet, block_rows: int = DEFAULT_BLOCK_ROWS) -> bytes:
+    """Serialise every column of ``rowset`` into one container image."""
+    body = bytearray()
+    directory = {}
+    for col in rowset.schema.columns:
+        data = ColumnFile.write(rowset.column(col.name), col.ctype, block_rows)
+        directory[col.name] = {
+            "offset": len(body),
+            "length": len(data),
+            "ctype": col.ctype.value,
+        }
+        body.extend(data)
+    footer = json.dumps(
+        {"row_count": rowset.num_rows, "columns": directory,
+         "order": rowset.schema.names}
+    ).encode("utf-8")
+    return bytes(body) + footer + _TRAILER.pack(len(footer), _MAGIC)
+
+
+class ContainerReader:
+    """Lazy per-column reader over a container byte image."""
+
+    def __init__(self, data: bytes):
+        footer_len, magic = _TRAILER.unpack_from(data, len(data) - _TRAILER.size)
+        if magic != _MAGIC:
+            raise ValueError("bad container magic")
+        start = len(data) - _TRAILER.size - footer_len
+        footer = json.loads(data[start : start + footer_len])
+        self._data = data
+        self.row_count: int = footer["row_count"]
+        self.column_order: List[str] = footer["order"]
+        self._directory: Dict[str, dict] = footer["columns"]
+        self._readers: Dict[str, ColumnReader] = {}
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self.column_order)
+
+    def column_reader(self, name: str) -> ColumnReader:
+        if name not in self._readers:
+            entry = self._directory[name]
+            chunk = self._data[entry["offset"] : entry["offset"] + entry["length"]]
+            self._readers[name] = ColumnReader(chunk)
+        return self._readers[name]
+
+    def read_columns(self, names: Sequence[str]) -> Dict[str, np.ndarray]:
+        return {n: self.column_reader(n).read_all() for n in names}
+
+    def schema(self) -> TableSchema:
+        from repro.common.types import SchemaColumn
+
+        return TableSchema(
+            [
+                SchemaColumn(n, ColumnType(self._directory[n]["ctype"]))
+                for n in self.column_order
+            ]
+        )
+
+    def read_rowset(self, names: Optional[Sequence[str]] = None) -> RowSet:
+        names = list(names) if names is not None else self.column_names
+        schema = TableSchema(
+            [
+                c for c in self.schema().columns if c.name in set(names)
+            ]
+        ).subset(names)
+        return RowSet(schema, self.read_columns(names))
+
+    # -- block-level access ----------------------------------------------------
+
+    def block_count(self) -> int:
+        """Blocks per column (identical across columns: every column of a
+        container is written with the same block_rows and row count)."""
+        if not self.column_order:
+            return 0
+        return len(self.column_reader(self.column_order[0]).blocks)
+
+    def matching_blocks(self, bounds) -> List[int]:
+        """Block indices that could hold a row satisfying per-column
+        [lo, hi] ``bounds`` (intersection across bounded columns)."""
+        candidates = set(range(self.block_count()))
+        for column, (lo, hi) in bounds.items():
+            if column not in self._directory:
+                continue
+            reader = self.column_reader(column)
+            candidates &= set(reader.blocks_possibly_matching(lo, hi))
+        return sorted(candidates)
+
+    def read_rowset_blocks(
+        self, names: Sequence[str], block_indices: Sequence[int]
+    ) -> RowSet:
+        """Read only the given blocks of each column (positions align
+        across columns because block geometry is shared)."""
+        names = list(names)
+        schema = TableSchema(
+            [c for c in self.schema().columns if c.name in set(names)]
+        ).subset(names)
+        columns: Dict[str, np.ndarray] = {}
+        for name in names:
+            reader = self.column_reader(name)
+            parts = [reader.read_block(i) for i in block_indices]
+            if not parts:
+                columns[name] = schema.column(name).ctype.coerce([])
+            elif len(parts) == 1:
+                columns[name] = parts[0]
+            else:
+                columns[name] = np.concatenate(parts)
+        return RowSet(schema, columns)
+
+
+def read_container(data: bytes) -> ContainerReader:
+    return ContainerReader(data)
+
+
+def container_stats(rowset: RowSet) -> Tuple[Tuple[Tuple[str, object], ...], Tuple[Tuple[str, object], ...]]:
+    """Per-column (min, max) pairs for container metadata, NULLs ignored."""
+    mins, maxs = [], []
+    for col in rowset.schema.columns:
+        arr = rowset.column(col.name)
+        if len(arr) == 0:
+            mins.append((col.name, None))
+            maxs.append((col.name, None))
+            continue
+        if arr.dtype.kind == "O":
+            non_null = [v for v in arr if v is not None]
+            mins.append((col.name, min(non_null) if non_null else None))
+            maxs.append((col.name, max(non_null) if non_null else None))
+        else:
+            lo, hi = arr.min(), arr.max()
+            cast = float if arr.dtype.kind == "f" else (bool if arr.dtype.kind == "b" else int)
+            mins.append((col.name, cast(lo)))
+            maxs.append((col.name, cast(hi)))
+    return tuple(mins), tuple(maxs)

@@ -1,0 +1,21 @@
+"""The Tuple Mover: mergeout (Eon + Enterprise) and moveout (Enterprise).
+
+Mergeout compacts ROS containers so their count stays bounded: it picks
+containers from an exponentially tiered strata structure (each tuple is
+merged only a small fixed number of times), merge-sorts them, purges
+deleted rows, and commits the swap.  In Eon mode a per-shard *mergeout
+coordinator* is elected so conflicting jobs never run concurrently
+(section 6.2); the coordinator can run jobs itself or farm them out.
+"""
+
+from repro.tuple_mover.mergeout import (
+    MergeoutCoordinatorService,
+    MergeoutReport,
+    select_mergeout_candidates,
+)
+
+__all__ = [
+    "MergeoutCoordinatorService",
+    "MergeoutReport",
+    "select_mergeout_candidates",
+]

@@ -1,0 +1,24 @@
+"""Workload generators for the paper's evaluation (section 8).
+
+* :mod:`repro.workloads.tpch` — a deterministic TPC-H-style generator and
+  the 20 analytic queries of Figure 10 (adapted to this engine's SQL
+  subset; each query documents its deviation, if any).
+* :mod:`repro.workloads.dashboard` — the "customer short query" of
+  Figure 11a: a multi-join + aggregation star query.
+* :mod:`repro.workloads.iot` — the many-concurrent-small-COPY load of
+  Figure 11b.
+"""
+
+from repro.workloads.dashboard import dashboard_query, setup_dashboard_schema
+from repro.workloads.iot import iot_batch, setup_iot_schema
+from repro.workloads.tpch import TPCH_QUERIES, TpchData, setup_tpch_schema
+
+__all__ = [
+    "TpchData",
+    "TPCH_QUERIES",
+    "setup_tpch_schema",
+    "dashboard_query",
+    "setup_dashboard_schema",
+    "iot_batch",
+    "setup_iot_schema",
+]

@@ -1,0 +1,120 @@
+"""The Figure-11a "customer short query": multi-join + aggregation.
+
+The paper describes it as "a customer-supplied short query comprised of
+multiple joins and aggregations that usually runs in about 100
+milliseconds".  We model a small operational star schema: an ``events``
+fact co-segmented with a ``devices`` dimension, plus a replicated
+``sites`` dimension; the query joins all three and aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.catalog.objects import Segmentation
+from repro.common.types import ColumnType, TableSchema
+from repro.storage.container import RowSet
+
+EVENTS_SCHEMA = TableSchema.of(
+    ("ev_device", ColumnType.INT),
+    ("ev_kind", ColumnType.INT),
+    ("ev_value", ColumnType.FLOAT),
+    ("ev_ts", ColumnType.INT),
+)
+DEVICES_SCHEMA = TableSchema.of(
+    ("dev_id", ColumnType.INT),
+    ("dev_site", ColumnType.INT),
+    ("dev_model", ColumnType.VARCHAR),
+)
+SITES_SCHEMA = TableSchema.of(
+    ("site_id", ColumnType.INT),
+    ("site_name", ColumnType.VARCHAR),
+)
+
+
+def setup_dashboard_schema(cluster) -> None:
+    cluster.create_table(
+        "events", [(c.name, c.ctype) for c in EVENTS_SCHEMA.columns],
+        create_super=False,
+    )
+    cluster.create_table(
+        "devices", [(c.name, c.ctype) for c in DEVICES_SCHEMA.columns],
+        create_super=False,
+    )
+    cluster.create_table(
+        "sites", [(c.name, c.ctype) for c in SITES_SCHEMA.columns],
+        create_super=False,
+    )
+    cluster.create_projection(
+        "events_p", "events", EVENTS_SCHEMA.names, ["ev_ts"],
+        Segmentation.by_hash("ev_device"),
+    )
+    cluster.create_projection(
+        "devices_p", "devices", DEVICES_SCHEMA.names, ["dev_id"],
+        Segmentation.by_hash("dev_id"),
+    )
+    cluster.create_projection(
+        "sites_p", "sites", SITES_SCHEMA.names, ["site_id"],
+        Segmentation.replicated(),
+    )
+
+
+def load_dashboard_data(
+    cluster, n_events: int = 20_000, n_devices: int = 200, n_sites: int = 10,
+    seed: int = 7,
+) -> None:
+    rng = np.random.default_rng(seed)
+    cluster.load(
+        "sites",
+        RowSet(
+            SITES_SCHEMA,
+            {
+                "site_id": np.arange(n_sites, dtype=np.int64),
+                "site_name": np.array(
+                    [f"site-{i}" for i in range(n_sites)], dtype=object
+                ),
+            },
+        ),
+    )
+    cluster.load(
+        "devices",
+        RowSet(
+            DEVICES_SCHEMA,
+            {
+                "dev_id": np.arange(n_devices, dtype=np.int64),
+                "dev_site": rng.integers(0, n_sites, n_devices).astype(np.int64),
+                "dev_model": np.array(
+                    [f"m{i % 7}" for i in range(n_devices)], dtype=object
+                ),
+            },
+        ),
+    )
+    cluster.load(
+        "events",
+        RowSet(
+            EVENTS_SCHEMA,
+            {
+                "ev_device": rng.integers(0, n_devices, n_events).astype(np.int64),
+                "ev_kind": rng.integers(0, 5, n_events).astype(np.int64),
+                "ev_value": rng.random(n_events),
+                "ev_ts": np.arange(n_events, dtype=np.int64),
+            },
+        ),
+    )
+
+
+def dashboard_query(recent_after: int = 0) -> str:
+    """The short dashboard query: two joins, a filter, an aggregation."""
+    return f"""
+        select site_name, ev_kind,
+               sum(ev_value) total, count(*) n, avg(ev_value) mean
+        from events
+        join devices on ev_device = dev_id
+        join sites on dev_site = site_id
+        where ev_ts >= {recent_after}
+        group by site_name, ev_kind
+        order by total desc
+        limit 20
+    """

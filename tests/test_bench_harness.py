@@ -1,0 +1,132 @@
+"""Throughput simulation harness: scaling laws and failure routing."""
+
+import pytest
+
+from repro import EnterpriseCluster, EonCluster
+from repro.bench.harness import (
+    ServiceModel,
+    profile_query,
+    run_copy_throughput,
+    run_query_throughput,
+)
+from repro.bench.reporting import format_series, format_table
+
+
+def eon(n, shards=3, slots=4, seed=2):
+    return EonCluster(
+        [f"n{i}" for i in range(n)], shard_count=shards,
+        execution_slots=slots, seed=seed,
+    )
+
+
+SERVICE = ServiceModel(
+    work_seconds=0.100, coordination_base=0.003, coordination_per_node=0.0008
+)
+
+
+class TestServiceModel:
+    def test_busiest_node_bounds_fragment_time(self):
+        even = SERVICE.service_time({"a": 1, "b": 1, "c": 1}, 3, inflight=1)
+        skewed = SERVICE.service_time({"a": 2, "b": 1}, 3, inflight=1)
+        assert skewed > even
+
+    def test_contention_grows_with_inflight(self):
+        model = ServiceModel(0.1, contention_per_inflight=0.001)
+        assert model.service_time({"a": 1}, 1, 50) > model.service_time({"a": 1}, 1, 1)
+
+    def test_empty_shares(self):
+        assert SERVICE.service_time({}, 0, 1) == SERVICE.coordination_base
+
+
+class TestElasticThroughputScaling:
+    def test_scale_out_increases_throughput(self):
+        per_minute = {}
+        for n in (3, 6, 9):
+            result = run_query_throughput(eon(n), SERVICE, threads=50,
+                                          duration_seconds=30.0)
+            per_minute[n] = result.per_minute
+        assert per_minute[6] > per_minute[3] * 1.4
+        assert per_minute[9] > per_minute[6] * 1.2
+
+    def test_throughput_saturates_at_slot_limit(self):
+        cluster = eon(3)
+        low = run_query_throughput(cluster, SERVICE, threads=4, duration_seconds=30.0)
+        high = run_query_throughput(cluster, SERVICE, threads=64, duration_seconds=30.0)
+        # 3 nodes x 4 slots / 3 shards = 4 concurrent: beyond that, flat.
+        assert high.per_minute <= low.per_minute * 1.3
+
+    def test_enterprise_degrades_with_offered_load(self):
+        cluster = EnterpriseCluster([f"e{i}" for i in range(9)], seed=2)
+        model = ServiceModel(0.1, coordination_per_node=0.002,
+                             contention_per_inflight=0.0015)
+        t10 = run_query_throughput(cluster, model, 10, 30.0, mode="enterprise")
+        t70 = run_query_throughput(cluster, model, 70, 30.0, mode="enterprise")
+        assert t70.per_minute < t10.per_minute
+
+    def test_determinism(self):
+        a = run_query_throughput(eon(3), SERVICE, 20, 30.0, seed=5)
+        b = run_query_throughput(eon(3), SERVICE, 20, 30.0, seed=5)
+        assert a.completed == b.completed
+
+
+class TestFailureRouting:
+    def test_kill_event_reroutes_not_cliffs(self):
+        cluster = eon(4, shards=3)
+        model = ServiceModel(work_seconds=6.0, coordination_base=0.01)
+        result = run_query_throughput(
+            cluster, model, threads=16, duration_seconds=1200.0,
+            window_seconds=120.0,
+            events=[(600.0, lambda: cluster.kill_node("n1"))],
+        )
+        before = sum(result.window_counts[:5]) / 5
+        after = sum(result.window_counts[5:]) / 5
+        assert after < before  # degraded...
+        assert after > before * 0.5  # ...but no cliff
+        assert result.errors == 0
+
+    def test_recover_event_restores_throughput(self):
+        cluster = eon(4, shards=3)
+        model = ServiceModel(work_seconds=6.0, coordination_base=0.01)
+        result = run_query_throughput(
+            cluster, model, threads=16, duration_seconds=1800.0,
+            window_seconds=120.0,
+            events=[
+                (600.0, lambda: cluster.kill_node("n1")),
+                (1200.0, lambda: cluster.recover_node("n1")),
+            ],
+        )
+        first = sum(result.window_counts[:5]) / 5
+        last = sum(result.window_counts[-4:]) / 4
+        assert last >= first * 0.9
+
+
+class TestCopyThroughput:
+    def test_copy_scales_with_nodes(self):
+        rates = {
+            n: run_copy_throughput(eon(n), threads=30, duration_seconds=30.0).per_minute
+            for n in (3, 6, 9)
+        }
+        assert rates[6] > rates[3] * 1.4
+        assert rates[9] > rates[6] * 1.1
+
+
+class TestProfileQuery:
+    def test_profile_from_real_execution(self):
+        cluster = eon(3)
+        cluster.execute("create table t (a int, b varchar)")
+        cluster.load("t", [(i, f"s{i % 3}") for i in range(500)])
+        model = profile_query(cluster, "select b, count(*) from t group by b")
+        assert model.work_seconds > 0
+        assert model.coordination_base > 0
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table("Title", ["a", "bb"], [[1, 2.5], ["x", 3.0]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "2.50" in text and "x" in text
+
+    def test_format_series(self):
+        text = format_series("S", "x", [1, 2], {"s1": [10.0, 20.0], "s2": [1.0, 2.0]})
+        assert "s1" in text and "20.00" in text

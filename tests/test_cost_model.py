@@ -1,0 +1,51 @@
+"""Cost model and query-stats arithmetic."""
+
+import pytest
+
+from repro.engine.cost import CostModel, NodeWork, QueryStats
+
+
+class TestCostModel:
+    def test_network_seconds(self):
+        model = CostModel(network_bandwidth=1e9, network_latency=0.001)
+        assert model.network_seconds(0) == pytest.approx(0.001)
+        assert model.network_seconds(1e9) == pytest.approx(1.001)
+        assert model.network_seconds(1e9, messages=3) == pytest.approx(1.003)
+
+
+class TestQueryStats:
+    def test_latency_is_critical_path(self):
+        stats = QueryStats(dispatch_seconds=0.01)
+        stats.node("fast").io_seconds = 0.1
+        stats.node("slow").io_seconds = 0.5
+        stats.node("slow").cpu_seconds = 0.2
+        stats.network_seconds = 0.05
+        stats.initiator_cpu_seconds = 0.02
+        # slowest node (0.7) + dispatch + network + initiator.
+        assert stats.latency_seconds == pytest.approx(0.01 + 0.7 + 0.05 + 0.02)
+
+    def test_latency_with_no_participants(self):
+        stats = QueryStats(dispatch_seconds=0.01)
+        assert stats.latency_seconds == pytest.approx(0.01)
+
+    def test_totals_aggregate_across_nodes(self):
+        stats = QueryStats()
+        stats.node("a").bytes_from_cache = 100
+        stats.node("a").bytes_from_shared = 10
+        stats.node("a").rows_scanned = 5
+        stats.node("b").bytes_from_cache = 200
+        stats.node("b").rows_scanned = 7
+        assert stats.total_bytes_from_cache == 300
+        assert stats.total_bytes_from_shared == 10
+        assert stats.total_rows_scanned == 12
+
+    def test_node_accessor_creates_once(self):
+        stats = QueryStats()
+        work = stats.node("x")
+        work.cpu_seconds = 1.0
+        assert stats.node("x").cpu_seconds == 1.0
+        assert len(stats.per_node) == 1
+
+    def test_busy_seconds(self):
+        work = NodeWork(io_seconds=0.2, cpu_seconds=0.3)
+        assert work.busy_seconds == pytest.approx(0.5)

@@ -1,0 +1,64 @@
+"""Delete vector codec and position mask arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.delete_vector import (
+    combine_positions,
+    mask_from_positions,
+    read_delete_vector,
+    write_delete_vector,
+)
+
+
+class TestCodec:
+    def test_roundtrip_sorted_dedup(self):
+        data = write_delete_vector([5, 1, 5, 3])
+        assert list(read_delete_vector(data)) == [1, 3, 5]
+
+    def test_empty(self):
+        assert list(read_delete_vector(write_delete_vector([]))) == []
+
+    def test_stored_in_column_format(self):
+        """Paper: delete vectors use 'the same format as regular columns'."""
+        from repro.storage.column import ColumnReader
+
+        data = write_delete_vector([0, 2])
+        reader = ColumnReader(data)  # parses as a plain column file
+        assert list(reader.read_all()) == [0, 2]
+
+
+class TestCombine:
+    def test_union(self):
+        merged = combine_positions([
+            np.array([1, 3]), np.array([3, 5]), np.array([], dtype=np.int64),
+        ])
+        assert list(merged) == [1, 3, 5]
+
+    def test_all_empty(self):
+        assert len(combine_positions([np.array([], dtype=np.int64)])) == 0
+        assert len(combine_positions([])) == 0
+
+
+class TestMask:
+    def test_mask_marks_live_rows(self):
+        mask = mask_from_positions(np.array([0, 3]), 5)
+        assert list(mask) == [False, True, True, False, True]
+
+    def test_empty_positions_all_live(self):
+        assert mask_from_positions(np.array([], dtype=np.int64), 3).all()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            mask_from_positions(np.array([5]), 5)
+        with pytest.raises(IndexError):
+            mask_from_positions(np.array([-1]), 5)
+
+    @given(st.sets(st.integers(0, 99)), st.just(100))
+    @settings(max_examples=50)
+    def test_mask_complements_positions(self, deleted, row_count):
+        positions = np.array(sorted(deleted), dtype=np.int64)
+        mask = mask_from_positions(positions, row_count)
+        assert mask.sum() == row_count - len(deleted)
+        assert not mask[positions].any() if len(positions) else True

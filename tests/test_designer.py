@@ -1,0 +1,114 @@
+"""Database Designer: workload-driven projection recommendations (§2.1)."""
+
+import pytest
+
+from repro import ColumnType, EonCluster
+from repro.engine.designer import DatabaseDesigner
+from repro.errors import SqlError
+
+
+@pytest.fixture
+def cluster():
+    c = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=18)
+    c.execute("""
+        create table fact (fk int, dim_ref int, amount float, ts int)
+    """)
+    c.execute("create table dim (dim_id int, label varchar)")
+    return c
+
+
+WORKLOAD = [
+    "select label, sum(amount) from fact, dim where dim_ref = dim_id group by label",
+    "select sum(amount) from fact where ts between 100 and 200",
+    "select label, count(*) from fact join dim on dim_ref = dim_id "
+    "where ts > 500 group by label",
+]
+
+
+def designer_for(cluster, row_counts=None):
+    state = cluster.any_up_node().catalog.state
+    return DatabaseDesigner(state, row_counts=row_counts)
+
+
+class TestProfiling:
+    def test_rejects_non_select(self, cluster):
+        designer = designer_for(cluster)
+        with pytest.raises(SqlError):
+            designer.add_query("create table zzz (a int)")
+
+    def test_add_workload_skips_unbindable(self, cluster):
+        designer = designer_for(cluster)
+        used = designer.add_workload(WORKLOAD + ["select ghost from fact"])
+        assert used == len(WORKLOAD)
+
+
+class TestProposals:
+    def test_segmentation_follows_join_keys(self, cluster):
+        designer = designer_for(cluster)
+        designer.add_workload(WORKLOAD)
+        by_table = {p.table: p for p in designer.propose()}
+        assert by_table["fact"].segmentation.columns == ("dim_ref",)
+        assert by_table["dim"].segmentation.columns == ("dim_id",)
+
+    def test_small_dimension_replicated(self, cluster):
+        designer = designer_for(cluster, row_counts={"dim": 100})
+        designer.add_workload(WORKLOAD)
+        by_table = {p.table: p for p in designer.propose()}
+        assert by_table["dim"].segmentation.is_replicated
+
+    def test_sort_order_prefers_filtered_columns(self, cluster):
+        designer = designer_for(cluster)
+        designer.add_workload(WORKLOAD)
+        fact = {p.table: p for p in designer.propose()}["fact"]
+        assert fact.sort_order[0] == "ts"  # range-filtered twice
+
+    def test_columns_cover_workload_only(self, cluster):
+        designer = designer_for(cluster)
+        designer.add_query(
+            "select sum(amount) from fact where ts > 10"
+        )
+        fact = {p.table: p for p in designer.propose()}["fact"]
+        assert set(fact.columns) == {"amount", "ts"}
+
+    def test_proposal_sql_parses(self, cluster):
+        from repro.sql.parser import parse
+
+        designer = designer_for(cluster)
+        designer.add_workload(WORKLOAD)
+        for proposal in designer.propose():
+            statements = parse(proposal.to_sql())
+            assert len(statements) == 1
+
+    def test_reasons_explain_choices(self, cluster):
+        designer = designer_for(cluster)
+        designer.add_workload(WORKLOAD)
+        fact = {p.table: p for p in designer.propose()}["fact"]
+        assert any("segmented" in r for r in fact.reasons)
+        assert any("covers" in r for r in fact.reasons)
+
+
+class TestApply:
+    def test_applied_design_enables_local_joins(self, cluster):
+        cluster.load("fact", [(i, i % 10, float(i), i) for i in range(500)])
+        cluster.load("dim", [(i, f"L{i}") for i in range(10)])
+        designer = designer_for(cluster)
+        designer.add_workload(WORKLOAD)
+        created = designer.apply(cluster)
+        assert created
+        result = cluster.query(WORKLOAD[0])
+        # The designed projections drive the plan, and the join is local.
+        assert result.plan.projections_used["fact"] == "fact_dbd"
+        from repro.engine.plan import JoinNode, walk
+
+        joins = [n for n in walk(result.plan.root) if isinstance(n, JoinNode)]
+        assert joins and all(j.locality == "local" for j in joins)
+
+    def test_applied_design_correctness(self, cluster):
+        cluster.load("fact", [(i, i % 10, float(i), i) for i in range(500)])
+        cluster.load("dim", [(i, f"L{i}") for i in range(10)])
+        before = cluster.query(WORKLOAD[0]).rows.to_pylist()
+        designer = designer_for(cluster)
+        designer.add_workload(WORKLOAD)
+        designer.apply(cluster)  # triggers projection refresh
+        after = cluster.query(WORKLOAD[0]).rows.to_pylist()
+        assert sorted(after) == sorted(before)

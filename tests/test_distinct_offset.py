@@ -1,0 +1,79 @@
+"""SELECT DISTINCT and LIMIT/OFFSET."""
+
+import pytest
+
+from repro import EonCluster
+from repro.errors import SqlError
+
+
+@pytest.fixture
+def cluster():
+    c = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=27)
+    c.execute("create table t (a int, b varchar)")
+    c.execute(
+        "insert into t values (1,'x'),(2,'x'),(3,'y'),(4,'y'),(5,'z')"
+    )
+    return c
+
+
+class TestDistinct:
+    def test_distinct_single_column(self, cluster):
+        out = sorted(cluster.query("select distinct b from t").rows.to_pylist())
+        assert out == [("x",), ("y",), ("z",)]
+
+    def test_distinct_multi_column(self, cluster):
+        cluster.execute("insert into t values (1,'x')")  # exact duplicate row
+        out = cluster.query("select distinct a, b from t")
+        assert out.rows.num_rows == 5
+
+    def test_distinct_expression(self, cluster):
+        out = sorted(cluster.query("select distinct length(b) from t").rows.to_pylist())
+        assert out == [(1,)]
+
+    def test_distinct_with_order_limit(self, cluster):
+        out = cluster.query("select distinct b from t order by b desc limit 2")
+        assert out.rows.to_pylist() == [("z",), ("y",)]
+
+    def test_distinct_correct_across_shards(self):
+        """Duplicate values living on different shards must still dedup."""
+        c = EonCluster(["a", "b", "c"], shard_count=3, seed=28)
+        c.execute("create table t (k int, v int)")
+        c.load("t", [(i, i % 3) for i in range(300)])  # v spread everywhere
+        out = sorted(c.query("select distinct v from t").rows.to_pylist())
+        assert out == [(0,), (1,), (2,)]
+
+    def test_distinct_with_aggregate_rejected(self, cluster):
+        with pytest.raises(SqlError):
+            cluster.query("select distinct count(*) from t")
+
+    def test_distinct_with_group_by_rejected(self, cluster):
+        with pytest.raises(SqlError):
+            cluster.query("select distinct b from t group by b")
+
+
+class TestOffset:
+    def test_limit_offset_paging(self, cluster):
+        page1 = cluster.query("select a from t order by a limit 2").rows.to_pylist()
+        page2 = cluster.query(
+            "select a from t order by a limit 2 offset 2"
+        ).rows.to_pylist()
+        page3 = cluster.query(
+            "select a from t order by a limit 2 offset 4"
+        ).rows.to_pylist()
+        assert page1 == [(1,), (2,)]
+        assert page2 == [(3,), (4,)]
+        assert page3 == [(5,)]
+
+    def test_offset_without_limit(self, cluster):
+        out = cluster.query("select a from t order by a offset 3")
+        assert out.rows.to_pylist() == [(4,), (5,)]
+
+    def test_offset_past_end(self, cluster):
+        out = cluster.query("select a from t order by a limit 5 offset 99")
+        assert out.rows.num_rows == 0
+
+    def test_offset_with_aggregate(self, cluster):
+        out = cluster.query(
+            "select b, count(*) n from t group by b order by b limit 1 offset 1"
+        )
+        assert out.rows.to_pylist() == [("y", 2)]

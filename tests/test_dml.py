@@ -1,0 +1,127 @@
+"""DML: DELETE and UPDATE via delete vectors, across projections."""
+
+import pytest
+
+from repro import EonCluster, Segmentation
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def cluster():
+    c = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=12)
+    c.execute("create table t (k int, g varchar, v float)")
+    c.create_projection(
+        "t_by_g", "t", ["k", "g", "v"], ["g"], Segmentation.by_hash("g")
+    )
+    c.load("t", [(i, f"g{i % 4}", float(i)) for i in range(400)])
+    return c
+
+
+class TestDelete:
+    def test_delete_with_predicate(self, cluster):
+        n = cluster.execute("delete from t where k < 100")
+        assert n == 100
+        assert cluster.query("select count(*) from t").rows.to_pylist() == [(300,)]
+
+    def test_delete_visible_on_all_projections(self, cluster):
+        cluster.execute("delete from t where k < 100")
+        # Force each projection via queries that only it covers well.
+        by_super = cluster.query("select count(*) from t where k >= 0")
+        by_g = cluster.query("select g, count(*) n from t group by g order by g")
+        assert by_super.rows.to_pylist() == [(300,)]
+        assert sum(r[1] for r in by_g.rows.to_pylist()) == 300
+
+    def test_delete_everything(self, cluster):
+        n = cluster.execute("delete from t")
+        assert n == 400
+        assert cluster.query("select count(*) from t").rows.to_pylist() == [(0,)]
+
+    def test_delete_nothing_matches(self, cluster):
+        n = cluster.execute("delete from t where k > 10000")
+        assert n == 0
+        assert cluster.version == cluster.version  # no commit churn needed
+
+    def test_repeated_deletes_accumulate(self, cluster):
+        cluster.execute("delete from t where k < 50")
+        cluster.execute("delete from t where k < 100")  # overlaps: idempotent
+        assert cluster.query("select count(*) from t").rows.to_pylist() == [(300,)]
+
+    def test_delete_vectors_registered(self, cluster):
+        cluster.execute("delete from t where k = 5")
+        dvs = set()
+        for node in cluster.up_nodes():
+            dvs |= set(node.catalog.state.delete_vectors)
+        assert dvs
+        for node in cluster.up_nodes():
+            for dv in node.catalog.state.delete_vectors.values():
+                assert cluster.shared_data.contains(dv.location)
+
+    def test_deleted_count_in_metadata(self, cluster):
+        cluster.execute("delete from t where k < 10")
+        total = 0
+        seen = set()
+        for node in cluster.up_nodes():
+            for sid, dv in node.catalog.state.delete_vectors.items():
+                if sid not in seen:
+                    seen.add(sid)
+                    total += dv.deleted_count
+        # 10 rows on each of 2 projections.
+        assert total == 20
+
+    def test_predicate_column_missing_from_projection_rejected(self, cluster):
+        # v is in both projections here; build one where it isn't.
+        c = EonCluster(["a", "b"], shard_count=2, seed=1)
+        c.execute("create table x (p int, q int)")
+        c.create_projection("x_narrow", "x", ["p"], ["p"], Segmentation.by_hash("p"))
+        c.load("x", [(1, 10), (2, 20)])
+        with pytest.raises(ExecutionError):
+            c.execute("delete from x where q = 10")
+
+
+class TestUpdate:
+    def test_update_rewrites_matching_rows(self, cluster):
+        n = cluster.execute("update t set v = v + 1000 where k < 10")
+        assert n == 10
+        out = cluster.query("select sum(v) from t where k < 10")
+        assert out.rows.to_pylist()[0][0] == pytest.approx(sum(range(10)) + 10_000)
+
+    def test_update_preserves_row_count(self, cluster):
+        cluster.execute("update t set g = 'zzz' where k < 50")
+        assert cluster.query("select count(*) from t").rows.to_pylist() == [(400,)]
+        out = cluster.query("select count(*) from t where g = 'zzz'")
+        assert out.rows.to_pylist() == [(50,)]
+
+    def test_update_no_match_is_noop(self, cluster):
+        version = cluster.version
+        n = cluster.execute("update t set v = 0 where k > 99999")
+        assert n == 0
+        assert cluster.version == version
+
+    def test_update_is_atomic_one_commit(self, cluster):
+        version = cluster.version
+        cluster.execute("update t set v = 0.0 where k < 100")
+        assert cluster.version == version + 1
+
+    def test_updated_rows_re_segmented(self, cluster):
+        """Updating a segmentation column moves rows to their new shard."""
+        cluster.execute("update t set g = 'moved' where g = 'g0'")
+        out = cluster.query("select g, count(*) n from t group by g order by g")
+        counts = dict(out.rows.to_pylist())
+        assert counts["moved"] == 100
+        assert "g0" not in counts
+
+    def test_update_expression_references_old_values(self, cluster):
+        cluster.execute("update t set v = k * 2.0 where k between 10 and 12")
+        out = cluster.query("select v from t where k between 10 and 12 order by v")
+        assert [r[0] for r in out.rows.to_pylist()] == [20.0, 22.0, 24.0]
+
+
+class TestDeleteOnReplicated:
+    def test_delete_from_replicated_table(self):
+        c = EonCluster(["a", "b"], shard_count=2, seed=3)
+        c.execute("create table r (x int, y varchar)")
+        c.create_projection("r_p", "r", ["x", "y"], ["x"], Segmentation.replicated())
+        c.load("r", [(i, "v") for i in range(20)])
+        n = c.execute("delete from r where x < 5")
+        assert n == 5
+        assert c.query("select count(*) from r").rows.to_pylist() == [(15,)]

@@ -1,0 +1,142 @@
+"""Elasticity and subcluster workload isolation (sections 4.3, 6.4)."""
+
+import pytest
+
+from repro import EonCluster
+from repro.errors import ClusterError, ShardCoverageLost
+from repro.sharding.shard import REPLICA_SHARD_ID
+from repro.sharding.subscription import SubscriptionState
+
+
+@pytest.fixture
+def cluster():
+    c = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=9)
+    c.execute("create table t (a int, b varchar)")
+    c.load("t", [(i, f"g{i % 4}") for i in range(400)])
+    return c
+
+
+class TestAddNode:
+    def test_add_node_without_redistribution(self, cluster):
+        objects_before = cluster.shared_data.metrics.put_requests
+        cluster.add_node("n4")
+        # No data was rewritten — only metadata and cache movement.
+        assert cluster.shared_data.metrics.put_requests == objects_before
+        assert cluster.query("select count(*) from t").rows.to_pylist() == [(400,)]
+
+    def test_new_node_participates(self, cluster):
+        cluster.add_node("n4")
+        seen = set()
+        for seed in range(30):
+            with cluster.create_session(seed=seed) as session:
+                seen |= set(session.assignment.values())
+        assert "n4" in seen
+
+    def test_new_node_gets_balanced_shards(self, cluster):
+        cluster.add_node("n4")
+        state = cluster.any_up_node().catalog.state
+        segments = [
+            s for (n, s), _ in state.subscriptions.items()
+            if n == "n4" and s != REPLICA_SHARD_ID
+        ]
+        assert segments  # at least one segment shard
+
+    def test_cache_warm_proportional_to_working_set(self, cluster):
+        cluster.query("select count(*) from t")  # establish the working set
+        node = cluster.add_node("n4", warm_cache=True)
+        # The warmed cache holds (at most) the working set of its shards,
+        # not the whole database.
+        assert 0 < node.cache.file_count <= sum(
+            n.cache.file_count for n in cluster.nodes.values() if n.name != "n4"
+        )
+
+    def test_duplicate_node_rejected(self, cluster):
+        with pytest.raises(ClusterError):
+            cluster.add_node("n1")
+
+    def test_added_node_sees_future_commits(self, cluster):
+        cluster.add_node("n4")
+        cluster.execute("create table fresh (x int)")
+        assert "fresh" in cluster.nodes["n4"].catalog.state.tables
+
+
+class TestRemoveNode:
+    def test_remove_node_keeps_coverage(self, cluster):
+        cluster.add_node("n4")
+        cluster.remove_node("n1")
+        assert "n1" not in cluster.nodes
+        cluster.check_viability()
+        assert cluster.query("select count(*) from t").rows.to_pylist() == [(400,)]
+
+    def test_remove_sole_subscriber_rejected(self):
+        c = EonCluster(["a", "b"], shard_count=2, subscribers_per_shard=1, seed=1)
+        with pytest.raises(ShardCoverageLost):
+            c.remove_node("a")
+        # The REMOVING transition must have been rolled back to ACTIVE.
+        state = c.any_up_node().catalog.state
+        for (node, shard), st in state.subscriptions.items():
+            assert st == SubscriptionState.ACTIVE.value
+
+    def test_unsubscribe_drops_metadata_and_cache(self, cluster):
+        cluster.query("select count(*) from t")
+        cluster.add_node("n4")  # extra coverage so unsubscribe is legal
+        node = cluster.nodes["n1"]
+        shard = next(
+            s for s in node.catalog.subscribed_shards if s != REPLICA_SHARD_ID
+        )
+        # Guarantee another ACTIVE subscriber for the shard.
+        others = [n for n in cluster.active_up_subscribers(shard) if n != "n1"]
+        if not others:
+            cluster.subscribe("n4", shard)
+        cluster.unsubscribe("n1", shard)
+        assert all(
+            c.shard_id != shard for c in node.catalog.state.containers.values()
+        )
+        assert shard not in node.catalog.subscribed_shards
+
+
+class TestSubclusters:
+    def test_subcluster_isolation(self, cluster):
+        cluster.add_node("n4")
+        cluster.add_node("n5")
+        cluster.add_node("n6")
+        cluster.define_subcluster("etl", ["n4", "n5", "n6"])
+        for seed in range(10):
+            with cluster.create_session(subcluster="etl", seed=seed) as session:
+                assert set(session.assignment.values()) <= {"n4", "n5", "n6"}
+
+    def test_rebalance_subscribes_missing_shards(self, cluster):
+        cluster.add_node("n4", shards=[0])
+        cluster.define_subcluster("solo", ["n4"])
+        # Rebalance must have subscribed n4 to every shard.
+        state = cluster.any_up_node().catalog.state
+        shards = {
+            s for (n, s), st in state.subscriptions.items()
+            if n == "n4" and st == SubscriptionState.ACTIVE.value
+        }
+        assert set(cluster.shard_map.shard_ids()) <= shards
+
+    def test_workload_escapes_only_on_failure(self, cluster):
+        cluster.add_node("n4")
+        cluster.define_subcluster("dash", ["n4"])
+        with cluster.create_session(subcluster="dash", seed=1) as session:
+            assert set(session.assignment.values()) == {"n4"}
+        cluster.kill_node("n4")
+        # With the subcluster down, queries fall back to the main cluster.
+        with cluster.create_session(subcluster="dash", seed=2) as session:
+            assert set(session.assignment.values()) <= {"n1", "n2", "n3"}
+        assert cluster.query(
+            "select count(*) from t", subcluster="dash"
+        ).rows.to_pylist() == [(400,)]
+
+    def test_unknown_subcluster_node_rejected(self, cluster):
+        with pytest.raises(ClusterError):
+            cluster.define_subcluster("bad", ["ghost"])
+
+    def test_queries_work_in_subcluster(self, cluster):
+        cluster.add_node("n4")
+        cluster.add_node("n5")
+        cluster.define_subcluster("iso", ["n4", "n5"])
+        result = cluster.query("select count(*) from t", subcluster="iso")
+        assert result.rows.to_pylist() == [(400,)]
+        assert set(result.stats.per_node) <= {"n4", "n5"}

@@ -1,0 +1,126 @@
+"""Flattened tables: load-time denormalisation joins and refresh (§2.1)."""
+
+import pytest
+
+from repro import ColumnType, EonCluster
+from repro.catalog.objects import FlattenedColumn
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def cluster():
+    c = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=16)
+    c.execute("create table dims (dim_id int, dim_name varchar)")
+    c.load("dims", [(i, f"name{i}") for i in range(10)])
+    c.create_table(
+        "facts",
+        [("fk", ColumnType.INT), ("dim_ref", ColumnType.INT),
+         ("v", ColumnType.FLOAT), ("dim_name_flat", ColumnType.VARCHAR)],
+        flattened=[FlattenedColumn(
+            output="dim_name_flat", source_table="dims", source_key="dim_id",
+            fact_key="dim_ref", source_column="dim_name",
+        )],
+    )
+    return c
+
+
+class TestLoadTimeDenormalisation:
+    def test_flattened_column_filled_at_load(self, cluster):
+        cluster.load("facts", [(i, i % 10, float(i)) for i in range(100)])
+        out = cluster.query(
+            "select dim_name_flat, count(*) n from facts "
+            "group by dim_name_flat order by dim_name_flat"
+        )
+        assert out.rows.num_rows == 10
+        assert all(name.startswith("name") for name, _ in out.rows.to_pylist())
+
+    def test_queries_avoid_the_join(self, cluster):
+        """The whole point: the denormalised query touches one table."""
+        cluster.load("facts", [(i, i % 10, float(i)) for i in range(100)])
+        result = cluster.query(
+            "select dim_name_flat, sum(v) s from facts group by dim_name_flat"
+        )
+        tables = set(result.plan.projections_used)
+        assert tables == {"facts"}
+
+    def test_missing_dimension_key_gives_null(self, cluster):
+        cluster.load("facts", [(1, 999, 1.0)])  # no dims row 999
+        out = cluster.query("select dim_name_flat from facts")
+        assert out.rows.to_pylist() == [(None,)]
+
+    def test_full_width_load_still_accepted(self, cluster):
+        cluster.load("facts", [(1, 2, 1.0, "explicit")])
+        out = cluster.query("select dim_name_flat from facts")
+        assert out.rows.to_pylist() == [("explicit",)]
+
+    def test_base_columns_property(self, cluster):
+        table = cluster.any_up_node().catalog.state.table("facts")
+        assert table.base_columns == ["fk", "dim_ref", "v"]
+
+
+class TestRefresh:
+    def test_refresh_picks_up_dimension_changes(self, cluster):
+        cluster.load("facts", [(i, i % 10, float(i)) for i in range(50)])
+        cluster.execute("update dims set dim_name = 'renamed' where dim_id = 3")
+        # Before refresh: stale denormalised values.
+        stale = cluster.query(
+            "select count(*) from facts where dim_name_flat = 'renamed'"
+        )
+        assert stale.rows.to_pylist() == [(0,)]
+        refreshed = cluster.refresh_flattened("facts")
+        assert refreshed == 50
+        fresh = cluster.query(
+            "select count(*) from facts where dim_name_flat = 'renamed'"
+        )
+        assert fresh.rows.to_pylist() == [(5,)]
+
+    def test_refresh_preserves_base_data(self, cluster):
+        cluster.load("facts", [(i, i % 10, float(i)) for i in range(50)])
+        before = cluster.query("select sum(v), count(*) from facts").rows.to_pylist()
+        cluster.refresh_flattened("facts")
+        after = cluster.query("select sum(v), count(*) from facts").rows.to_pylist()
+        assert before == after
+
+    def test_refresh_is_one_transaction(self, cluster):
+        cluster.load("facts", [(i, i % 10, float(i)) for i in range(50)])
+        version = cluster.version
+        cluster.refresh_flattened("facts")
+        assert cluster.version == version + 1
+
+    def test_refresh_on_plain_table_rejected(self, cluster):
+        with pytest.raises(CatalogError):
+            cluster.refresh_flattened("dims")
+
+    def test_refresh_empty_table(self, cluster):
+        assert cluster.refresh_flattened("facts") == 0
+
+
+class TestValidation:
+    def test_flattened_output_must_be_in_schema(self):
+        from repro.catalog.objects import Table
+        from repro.common.types import TableSchema
+
+        with pytest.raises(ValueError):
+            Table(
+                "bad",
+                TableSchema.of(("a", ColumnType.INT)),
+                flattened=(FlattenedColumn("ghost", "d", "k", "a", "v"),),
+            )
+
+    def test_flattened_fact_key_must_be_in_schema(self):
+        from repro.catalog.objects import Table
+        from repro.common.types import TableSchema
+
+        with pytest.raises(ValueError):
+            Table(
+                "bad",
+                TableSchema.of(("a", ColumnType.INT)),
+                flattened=(FlattenedColumn("a", "d", "k", "ghost", "v"),),
+            )
+
+    def test_flattened_survives_catalog_roundtrip(self, cluster):
+        from repro.catalog.transaction_log import Checkpoint
+
+        state = cluster.any_up_node().catalog.state
+        restored = Checkpoint.of_state(state).restore()
+        assert restored.table("facts").flattened == state.table("facts").flattened

@@ -1,0 +1,105 @@
+"""Live aggregate projections: load-time maintenance and query rewrite."""
+
+import pytest
+
+from repro import EonCluster, Segmentation
+
+
+@pytest.fixture
+def cluster():
+    c = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=13)
+    c.execute("create table sales (cust int, region varchar, amount float)")
+    c.create_live_aggregate(
+        "sales_by_region",
+        "sales",
+        group_by=["region"],
+        aggregates=[("sum", "amount", "total"), ("count", None, "n"),
+                    ("min", "amount", "lo"), ("max", "amount", "hi")],
+        segmentation=Segmentation.by_hash("region"),
+    )
+    return c
+
+
+def load_batches(cluster, batches=3, rows=60):
+    for b in range(batches):
+        cluster.load(
+            "sales",
+            [(b * rows + i, f"r{i % 3}", float(i)) for i in range(rows)],
+        )
+
+
+class TestMaintenance:
+    def test_lap_containers_written_at_load(self, cluster):
+        load_batches(cluster, batches=1)
+        lap_containers = set()
+        for node in cluster.up_nodes():
+            lap_containers |= {
+                sid for sid, c in node.catalog.state.containers.items()
+                if c.projection == "sales_by_region"
+            }
+        assert lap_containers
+
+    def test_lap_on_nonempty_table_rejected(self, cluster):
+        load_batches(cluster, batches=1)
+        from repro.errors import CatalogError
+        with pytest.raises(CatalogError):
+            cluster.create_live_aggregate(
+                "late_lap", "sales", ["region"], [("sum", "amount", "t")]
+            )
+
+
+class TestQueryRewrite:
+    def test_matching_query_uses_lap(self, cluster):
+        load_batches(cluster)
+        result = cluster.query(
+            "select region, sum(amount) total, count(*) n "
+            "from sales group by region order by region"
+        )
+        assert result.plan.used_live_aggregate == "sales_by_region"
+        expected = {
+            f"r{k}": (
+                sum(float(i) for i in range(60) if i % 3 == k) * 3,
+                60,
+            )
+            for k in range(3)
+        }
+        for region, total, n in result.rows.to_pylist():
+            assert total == pytest.approx(expected[region][0])
+            assert n == expected[region][1]
+
+    def test_lap_answer_matches_base_table(self, cluster):
+        load_batches(cluster)
+        lap = cluster.query(
+            "select region, sum(amount) t, min(amount) lo, max(amount) hi "
+            "from sales group by region order by region"
+        )
+        assert lap.plan.used_live_aggregate == "sales_by_region"
+        base = cluster.query(
+            "select region, sum(amount) t, min(amount) lo, max(amount) hi "
+            "from sales where amount >= 0 group by region order by region"
+        )
+        assert base.plan.used_live_aggregate is None
+        for l, b in zip(lap.rows.to_pylist(), base.rows.to_pylist()):
+            assert l[0] == b[0]
+            assert l[1] == pytest.approx(b[1])
+            assert l[2:] == b[2:]
+
+    def test_lap_scans_less_data(self, cluster):
+        load_batches(cluster, batches=5, rows=200)
+        lap = cluster.query(
+            "select region, sum(amount) t from sales group by region"
+        )
+        base = cluster.query(
+            "select region, sum(amount) t from sales where amount >= 0 "
+            "group by region"
+        )
+        assert lap.stats.total_rows_scanned < base.stats.total_rows_scanned
+
+    def test_lap_correct_after_many_batches(self, cluster):
+        """Partial states from many loads must merge correctly."""
+        load_batches(cluster, batches=6, rows=30)
+        result = cluster.query(
+            "select region, count(*) n from sales group by region order by region"
+        )
+        assert result.plan.used_live_aggregate == "sales_by_region"
+        assert [r[1] for r in result.rows.to_pylist()] == [60, 60, 60]

@@ -1,0 +1,121 @@
+"""Incremental max-flow solver, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sharding.maxflow import FlowNetwork
+
+
+class TestBasics:
+    def test_single_path(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 3)
+        net.add_edge("a", "t", 2)
+        assert net.max_flow("s", "t") == 2
+
+    def test_parallel_paths(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1)
+        net.add_edge("s", "b", 1)
+        net.add_edge("a", "t", 1)
+        net.add_edge("b", "t", 1)
+        assert net.max_flow("s", "t") == 2
+
+    def test_requires_residual_rerouting(self):
+        # Classic case where a naive greedy path choice must be undone via
+        # the residual graph.
+        net = FlowNetwork()
+        net.add_edge("s", "a", 1)
+        net.add_edge("s", "b", 1)
+        net.add_edge("a", "b", 1)
+        net.add_edge("a", "t", 1)
+        net.add_edge("b", "t", 1)
+        assert net.max_flow("s", "t") == 2
+
+    def test_disconnected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 5)
+        net.add_edge("b", "t", 5)
+        assert net.max_flow("s", "t") == 0
+
+    def test_duplicate_edge_rejected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 1)
+        with pytest.raises(ValueError):
+            net.add_edge("s", "t", 2)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork().add_edge("s", "t", -1)
+
+
+class TestIncremental:
+    def test_flow_preserved_across_capacity_increase(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 2)
+        net.add_edge("a", "t", 1)
+        assert net.max_flow("s", "t") == 1
+        before = net.flow("s", "a")
+        net.set_capacity("a", "t", 2)
+        assert net.max_flow("s", "t") == 2
+        # Prior flow stayed intact (only augmented).
+        assert net.flow("s", "a") >= before
+
+    def test_cannot_lower_capacity_below_flow(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 3)
+        net.max_flow("s", "t")
+        with pytest.raises(ValueError):
+            net.set_capacity("s", "t", 1)
+
+    def test_repeated_max_flow_idempotent(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 4)
+        assert net.max_flow("s", "t") == 4
+        assert net.max_flow("s", "t") == 4
+
+
+class TestAgainstNetworkx:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, data):
+        n_mid = data.draw(st.integers(min_value=1, max_value=5))
+        edges = []
+        for i in range(n_mid):
+            cap_in = data.draw(st.integers(min_value=0, max_value=4))
+            cap_out = data.draw(st.integers(min_value=0, max_value=4))
+            edges.append(("s", f"m{i}", cap_in))
+            edges.append((f"m{i}", "t", cap_out))
+        # A few cross edges.
+        for i in range(n_mid - 1):
+            if data.draw(st.booleans()):
+                edges.append((f"m{i}", f"m{i+1}", data.draw(st.integers(0, 3))))
+
+        ours = FlowNetwork()
+        theirs = nx.DiGraph()
+        for u, v, c in edges:
+            ours.add_edge(u, v, c)
+            theirs.add_edge(u, v, capacity=c)
+        expected = nx.maximum_flow_value(theirs, "s", "t")
+        assert ours.max_flow("s", "t") == expected
+
+    def test_bipartite_matching_instance(self):
+        # The exact graph shape used for shard assignment (Figure 6).
+        ours = FlowNetwork()
+        theirs = nx.DiGraph()
+        shards = [f"sh{i}" for i in range(4)]
+        nodes = [f"n{i}" for i in range(3)]
+        subscribes = {
+            "sh0": ["n0", "n1"], "sh1": ["n1"], "sh2": ["n1", "n2"], "sh3": ["n2"],
+        }
+        for sh in shards:
+            ours.add_edge("S", sh, 1)
+            theirs.add_edge("S", sh, capacity=1)
+            for n in subscribes[sh]:
+                ours.add_edge(sh, n, 1)
+                theirs.add_edge(sh, n, capacity=1)
+        for n in nodes:
+            ours.add_edge(n, "T", 2)
+            theirs.add_edge(n, "T", capacity=2)
+        assert ours.max_flow("S", "T") == nx.maximum_flow_value(theirs, "S", "T") == 4

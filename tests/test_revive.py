@@ -1,0 +1,154 @@
+"""Revive: truncation consensus, cluster_info, lease, incarnations (§3.5)."""
+
+import pytest
+
+from repro import EonCluster, SimClock
+from repro.cluster.revive import read_latest_cluster_info, revive
+from repro.errors import ReviveError
+
+
+def build_cluster(clock=None):
+    clock = clock or SimClock()
+    cluster = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=3, clock=clock)
+    cluster.execute("create table t (a int, b varchar)")
+    for batch in range(3):
+        cluster.load("t", [(batch * 100 + i, f"g{i % 4}") for i in range(100)])
+    return cluster, clock
+
+
+class TestTruncationConsensus:
+    def test_consensus_after_full_sync(self):
+        cluster, _ = build_cluster()
+        cluster.sync_catalogs()
+        assert cluster.compute_truncation_version() == cluster.version
+
+    def test_consensus_lags_unuploaded_commits(self):
+        cluster, _ = build_cluster()
+        cluster.sync_catalogs()
+        synced = cluster.version
+        cluster.load("t", [(999, "late")])
+        assert cluster.compute_truncation_version() == synced
+
+    def test_consensus_zero_before_any_sync(self):
+        cluster, _ = build_cluster()
+        assert cluster.compute_truncation_version() == 0
+
+    def test_consensus_is_min_across_shards(self):
+        cluster, _ = build_cluster()
+        cluster.sync_catalogs()
+        before = cluster.compute_truncation_version()
+        cluster.load("t", [(1_000, "x")])
+        # Sync only one node: its shards advance, others lag; consensus
+        # stays at the minimum across shards.
+        node = cluster.nodes["n1"]
+        node.catalog.sync_to(cluster.shared_meta_store("n1"), include_checkpoint=True)
+        assert cluster.compute_truncation_version() == before
+
+
+class TestClusterInfo:
+    def test_write_and_read_latest(self):
+        cluster, clock = build_cluster()
+        cluster.sync_catalogs()
+        cluster.write_cluster_info(lease_seconds=100)
+        info = read_latest_cluster_info(cluster.shared)
+        assert info["incarnation"] == cluster.incarnation
+        assert info["truncation_version"] == cluster.version
+        assert info["lease_expiry"] == clock.now + 100
+
+    def test_sequenced_rewrites(self):
+        cluster, _ = build_cluster()
+        cluster.sync_catalogs()
+        first = cluster.write_cluster_info()
+        second = cluster.write_cluster_info()
+        assert first != second
+        assert read_latest_cluster_info(cluster.shared) is not None
+
+
+class TestRevive:
+    def test_graceful_shutdown_then_revive(self):
+        cluster, clock = build_cluster()
+        cluster.graceful_shutdown()
+        revived = revive(cluster.shared, clock=clock)
+        result = revived.query("select count(*) from t")
+        assert result.rows.to_pylist() == [(300,)]
+        assert revived.incarnation != cluster.incarnation
+
+    def test_revive_preserves_version_number(self):
+        cluster, clock = build_cluster()
+        version = cluster.version
+        cluster.graceful_shutdown()
+        revived = revive(cluster.shared, clock=clock)
+        assert revived.version == version
+
+    def test_revive_continues_committing(self):
+        cluster, clock = build_cluster()
+        cluster.graceful_shutdown()
+        revived = revive(cluster.shared, clock=clock)
+        revived.load("t", [(5_000, "post-revive")])
+        assert revived.query("select count(*) from t").rows.to_pylist() == [(301,)]
+
+    def test_revive_discards_unsynced_tail(self):
+        cluster, clock = build_cluster()
+        cluster.sync_catalogs()
+        cluster.write_cluster_info(lease_seconds=0)
+        # These commits never reach shared storage ("catastrophic loss").
+        cluster.load("t", [(7_777, "lost")])
+        revived = revive(cluster.shared, clock=clock)
+        assert revived.query("select count(*) from t").rows.to_pylist() == [(300,)]
+
+    def test_lease_blocks_concurrent_revive(self):
+        cluster, clock = build_cluster()
+        cluster.sync_catalogs()
+        cluster.write_cluster_info(lease_seconds=500)
+        with pytest.raises(ReviveError):
+            revive(cluster.shared, clock=clock)
+
+    def test_lease_expiry_allows_revive(self):
+        cluster, clock = build_cluster()
+        cluster.sync_catalogs()
+        cluster.write_cluster_info(lease_seconds=500)
+        clock.advance(501)
+        revived = revive(cluster.shared, clock=clock)
+        assert revived.query("select count(*) from t").rows.to_pylist() == [(300,)]
+
+    def test_force_overrides_lease(self):
+        cluster, clock = build_cluster()
+        cluster.sync_catalogs()
+        cluster.write_cluster_info(lease_seconds=500)
+        revived = revive(cluster.shared, clock=clock, force=True)
+        assert revived.version == cluster.version
+
+    def test_revive_without_cluster_info_fails(self):
+        from repro.shared_storage.s3 import SimulatedS3
+
+        with pytest.raises(ReviveError):
+            revive(SimulatedS3())
+
+    def test_double_revive(self):
+        cluster, clock = build_cluster()
+        cluster.graceful_shutdown()
+        first = revive(cluster.shared, clock=clock)
+        first.load("t", [(1, "one")])
+        first.graceful_shutdown()
+        second = revive(cluster.shared, clock=clock)
+        assert second.query("select count(*) from t").rows.to_pylist() == [(301,)]
+
+    def test_metadata_namespaces_distinct_per_incarnation(self):
+        cluster, clock = build_cluster()
+        cluster.graceful_shutdown()
+        revived = revive(cluster.shared, clock=clock)
+        revived.load("t", [(1, "x")])
+        revived.sync_catalogs()
+        old_meta = cluster.shared.list(f"meta_{cluster.incarnation}")
+        new_meta = cluster.shared.list(f"meta_{revived.incarnation}")
+        assert old_meta and new_meta
+        assert not set(old_meta) & set(new_meta)
+
+    def test_node_failure_after_revive(self):
+        cluster, clock = build_cluster()
+        cluster.graceful_shutdown()
+        revived = revive(cluster.shared, clock=clock)
+        revived.kill_node("n2")
+        assert revived.query("select count(*) from t").rows.to_pylist() == [(300,)]
+        revived.recover_node("n2")
+        assert revived.query("select count(*) from t").rows.to_pylist() == [(300,)]

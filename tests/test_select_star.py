@@ -1,0 +1,48 @@
+"""SELECT * expansion."""
+
+import pytest
+
+from repro import EonCluster
+from repro.errors import SqlError
+
+
+@pytest.fixture
+def cluster():
+    c = EonCluster(["n1", "n2"], shard_count=2, seed=26)
+    c.execute("create table t (a int, b varchar)")
+    c.execute("insert into t values (1, 'x'), (2, 'y')")
+    return c
+
+
+class TestSelectStar:
+    def test_single_table(self, cluster):
+        result = cluster.query("select * from t order by a")
+        assert result.rows.schema.names == ["a", "b"]
+        assert result.rows.to_pylist() == [(1, "x"), (2, "y")]
+
+    def test_join_expands_both_tables_in_order(self, cluster):
+        cluster.execute("create table u (c int, d float)")
+        cluster.execute("insert into u values (1, 0.5)")
+        result = cluster.query("select * from t join u on a = c")
+        assert result.rows.schema.names == ["a", "b", "c", "d"]
+
+    def test_star_plus_expression(self, cluster):
+        result = cluster.query("select *, a * 10 big from t order by a")
+        assert result.rows.schema.names == ["a", "b", "big"]
+        assert result.rows.to_pylist()[1] == (2, "y", 20)
+
+    def test_star_with_where(self, cluster):
+        result = cluster.query("select * from t where b = 'y'")
+        assert result.rows.to_pylist() == [(2, "y")]
+
+    def test_star_with_group_by_rejected(self, cluster):
+        # Non-grouped columns via * must be rejected like explicit ones.
+        with pytest.raises(SqlError):
+            cluster.query("select *, count(*) from t group by b")
+
+    def test_star_in_shell(self, cluster):
+        from repro.shell import Shell
+
+        output = []
+        Shell(cluster, output.append).run(["select * from t order by a;"])
+        assert "(2 rows)" in "\n".join(output)

@@ -1,0 +1,119 @@
+"""Shard map: hash-region ownership, rowset splitting, crunch masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.hashing import HASH_SPACE, hash_row
+from repro.common.types import ColumnType, TableSchema
+from repro.sharding.shard import REPLICA_SHARD_ID, ShardMap
+from repro.storage.container import RowSet
+
+SCHEMA = TableSchema.of(("k", ColumnType.INT), ("name", ColumnType.VARCHAR))
+
+
+def make_rows(n=500):
+    return RowSet.from_rows(SCHEMA, [(i, f"u{i}") for i in range(n)])
+
+
+class TestRegions:
+    def test_regions_cover_space_exactly(self):
+        sm = ShardMap(4)
+        regions = [sm.region_of(s) for s in sm.shard_ids()]
+        assert regions[0][0] == 0
+        assert regions[-1][1] == HASH_SPACE
+        for (lo1, hi1), (lo2, _) in zip(regions, regions[1:]):
+            assert hi1 == lo2
+
+    def test_odd_shard_counts(self):
+        sm = ShardMap(3)
+        total = sum(hi - lo for lo, hi in (sm.region_of(s) for s in range(3)))
+        assert total == HASH_SPACE
+
+    def test_single_shard(self):
+        sm = ShardMap(1)
+        assert sm.shard_of_hash(0) == 0
+        assert sm.shard_of_hash(HASH_SPACE - 1) == 0
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+
+    def test_boundary_values(self):
+        sm = ShardMap(4)
+        for s in range(4):
+            lo, hi = sm.region_of(s)
+            assert sm.shard_of_hash(lo) == s
+            assert sm.shard_of_hash(hi - 1) == s
+
+    def test_hash_out_of_space_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap(2).shard_of_hash(HASH_SPACE)
+
+    @given(st.integers(min_value=0, max_value=HASH_SPACE - 1),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100)
+    def test_every_hash_owned_by_its_region(self, h, count):
+        sm = ShardMap(count)
+        shard = sm.shard_of_hash(h)
+        lo, hi = sm.region_of(shard)
+        assert lo <= h < hi
+
+
+class TestRowSplitting:
+    def test_split_partitions_all_rows(self):
+        sm = ShardMap(4)
+        rows = make_rows(500)
+        parts = sm.split_rowset(rows, ["k"])
+        assert sum(p.num_rows for p in parts.values()) == 500
+
+    def test_split_agrees_with_scalar_hash(self):
+        sm = ShardMap(4)
+        rows = make_rows(200)
+        shards = sm.shards_of_rowset(rows, ["k"])
+        for i in range(0, 200, 17):
+            assert shards[i] == sm.shard_of_hash(hash_row([i]))
+
+    def test_split_multi_column_key(self):
+        sm = ShardMap(3)
+        rows = make_rows(100)
+        shards = sm.shards_of_rowset(rows, ["k", "name"])
+        for i in (0, 50, 99):
+            assert shards[i] == sm.shard_of_row([i, f"u{i}"])
+
+    def test_no_empty_shard_entries(self):
+        sm = ShardMap(8)
+        parts = sm.split_rowset(make_rows(3), ["k"])
+        assert all(p.num_rows > 0 for p in parts.values())
+
+    def test_string_key_splitting(self):
+        sm = ShardMap(2)
+        parts = sm.split_rowset(make_rows(100), ["name"])
+        assert sum(p.num_rows for p in parts.values()) == 100
+
+    def test_hash_region_mask_matches_split(self):
+        sm = ShardMap(4)
+        rows = make_rows(300)
+        masks = [sm.hash_region_mask(rows, ["k"], s) for s in range(4)]
+        stacked = np.stack(masks)
+        # Every row selected by exactly one shard's mask.
+        assert (stacked.sum(axis=0) == 1).all()
+
+    @given(st.integers(min_value=1, max_value=16), st.integers(min_value=0, max_value=400))
+    @settings(max_examples=30)
+    def test_split_is_total_and_disjoint(self, count, n):
+        sm = ShardMap(count)
+        rows = make_rows(n) if n else RowSet.empty(SCHEMA)
+        parts = sm.split_rowset(rows, ["k"])
+        assert sum(p.num_rows for p in parts.values()) == n
+        seen = []
+        for part in parts.values():
+            seen.extend(part.column("k"))
+        assert sorted(seen) == list(range(n))
+
+    def test_replica_shard_id_is_not_a_segment(self):
+        sm = ShardMap(4)
+        assert REPLICA_SHARD_ID not in sm.shard_ids()
+        assert REPLICA_SHARD_ID in sm.all_shard_ids()
+        with pytest.raises(ValueError):
+            sm.region_of(REPLICA_SHARD_ID)

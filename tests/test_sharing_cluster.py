@@ -1,0 +1,115 @@
+"""Database sharing (section 10): a read-only cluster over the same files.
+
+"With support for shared storage, the idea of two or more databases
+sharing the same metadata and data files is practical and compelling.
+Database sharing will provide strong fault and workload isolation ... and
+decrease the organizational and monetary cost of exploratory data science
+projects."
+"""
+
+import pytest
+
+from repro import EonCluster, SimClock
+from repro.cluster.revive import revive
+from repro.errors import ClusterError
+
+
+@pytest.fixture
+def primary():
+    clock = SimClock()
+    cluster = EonCluster(["p1", "p2", "p3"], shard_count=3, seed=31, clock=clock)
+    cluster.execute("create table t (k int, g varchar, v float)")
+    cluster.load("t", [(i, f"g{i % 4}", float(i)) for i in range(800)])
+    cluster.sync_catalogs()
+    cluster.write_cluster_info(lease_seconds=10_000)  # primary stays alive
+    return cluster
+
+
+def attach_reader(primary):
+    return revive(primary.shared, clock=primary.clock, read_only=True, seed=77)
+
+
+class TestAttach:
+    def test_reader_attaches_while_primary_lease_active(self, primary):
+        reader = attach_reader(primary)
+        assert reader.read_only
+        assert reader.query("select count(*) from t").rows.to_pylist() == [(800,)]
+
+    def test_reader_answers_match_primary(self, primary):
+        reader = attach_reader(primary)
+        sql = "select g, sum(v) s, count(*) n from t group by g order by g"
+        assert reader.query(sql).rows.to_pylist() == primary.query(sql).rows.to_pylist()
+
+    def test_reader_never_writes_shared_metadata(self, primary):
+        incarnations_before = {
+            name.split("_")[1]
+            for name in primary.shared.list("meta_")
+        }
+        attach_reader(primary)
+        incarnations_after = {
+            name.split("_")[1]
+            for name in primary.shared.list("meta_")
+        }
+        assert incarnations_after == incarnations_before
+
+    def test_reader_does_not_steal_lease(self, primary):
+        from repro.cluster.revive import read_latest_cluster_info
+
+        before = read_latest_cluster_info(primary.shared)
+        attach_reader(primary)
+        after = read_latest_cluster_info(primary.shared)
+        assert after == before
+
+
+class TestIsolation:
+    def test_writes_rejected_on_reader(self, primary):
+        reader = attach_reader(primary)
+        with pytest.raises(ClusterError):
+            reader.load("t", [(9_999, "x", 0.0)])
+        with pytest.raises(ClusterError):
+            reader.execute("delete from t where k = 1")
+        with pytest.raises(ClusterError):
+            reader.execute("create table other (x int)")
+
+    def test_reader_workload_isolated_from_primary_compute(self, primary):
+        reader = attach_reader(primary)
+        result = reader.query("select count(*) from t")
+        # The reader's own nodes (its own compute) served the query.
+        assert set(result.stats.per_node) <= set(reader.nodes)
+        # The primary's caches were untouched by the reader's scans.
+        primary_hits = sum(n.cache.stats.hits for n in primary.up_nodes())
+        reader.query("select sum(v) from t")
+        assert sum(n.cache.stats.hits for n in primary.up_nodes()) == primary_hits
+
+    def test_reader_snapshot_ignores_uncommitted_primary_writes(self, primary):
+        reader = attach_reader(primary)
+        primary.load("t", [(9_000, "new", 1.0)])  # not yet synced
+        assert reader.query("select count(*) from t").rows.to_pylist() == [(800,)]
+
+
+class TestCatchUp:
+    def test_refresh_applies_synced_commits(self, primary):
+        reader = attach_reader(primary)
+        primary.load("t", [(9_000 + i, "new", 1.0) for i in range(25)])
+        primary.sync_catalogs()
+        applied = reader.refresh_from_shared()
+        assert applied > 0
+        assert reader.query("select count(*) from t").rows.to_pylist() == [(825,)]
+
+    def test_refresh_idempotent(self, primary):
+        reader = attach_reader(primary)
+        primary.load("t", [(9_000, "new", 1.0)])
+        primary.sync_catalogs()
+        reader.refresh_from_shared()
+        assert reader.refresh_from_shared() == 0
+
+    def test_refresh_on_primary_rejected(self, primary):
+        with pytest.raises(ClusterError):
+            primary.refresh_from_shared()
+
+    def test_reader_sees_deletes_after_refresh(self, primary):
+        reader = attach_reader(primary)
+        primary.execute("delete from t where k < 100")
+        primary.sync_catalogs()
+        reader.refresh_from_shared()
+        assert reader.query("select count(*) from t").rows.to_pylist() == [(700,)]

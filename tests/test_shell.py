@@ -1,0 +1,117 @@
+"""The interactive shell: SQL round trips and meta-commands."""
+
+import pytest
+
+from repro import EonCluster
+from repro.shell import Shell
+
+
+@pytest.fixture
+def shell_io():
+    cluster = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=25)
+    output = []
+    shell = Shell(cluster, output.append)
+    return shell, output
+
+
+def text(output):
+    return "\n".join(output)
+
+
+class TestSql:
+    def test_create_load_select(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "create table t (a int, b varchar);",
+            "insert into t values (1, 'x'), (2, 'y');",
+            "select b, count(*) n from t group by b order by b;",
+        ])
+        assert "COPY 2 rows" in text(output)
+        assert "(2 rows)" in text(output)
+        assert "x" in text(output) and "y" in text(output)
+
+    def test_multiline_statement(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "create table t (a int);",
+            "select a",
+            "from t",
+            "where a > 0;",
+        ])
+        assert "(0 rows)" in text(output)
+
+    def test_sql_error_reported_not_raised(self, shell_io):
+        shell, output = shell_io
+        shell.run(["select zzz from nowhere;"])
+        assert "ERROR" in text(output)
+
+    def test_plan_toggle(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "create table t (a int);",
+            "\\plan",
+            "select count(*) from t;",
+        ])
+        assert "Aggregate" in text(output)
+
+
+class TestMetaCommands:
+    def test_dt_lists_tables(self, shell_io):
+        shell, output = shell_io
+        shell.run(["create table zebra (a int);", "\\dt"])
+        assert "zebra" in text(output)
+
+    def test_dp_lists_projections(self, shell_io):
+        shell, output = shell_io
+        shell.run(["create table t (a int);", "\\dp"])
+        assert "t_super" in text(output)
+        assert "hash(a)" in text(output)
+
+    def test_nodes_listing(self, shell_io):
+        shell, output = shell_io
+        shell.run(["\\nodes"])
+        assert "n1" in text(output) and "UP" in text(output)
+
+    def test_kill_and_recover(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "create table t (a int);",
+            "insert into t values (1);",
+            "\\kill n2",
+            "select count(*) from t;",
+            "\\recover n2",
+        ])
+        assert "killed n2" in text(output)
+        assert "recovered n2" in text(output)
+        assert "(1 rows)" in text(output)
+
+    def test_stats_after_query(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "create table t (a int);",
+            "insert into t values (1);",
+            "select count(*) from t;",
+            "\\stats",
+        ])
+        assert "latency=" in text(output)
+
+    def test_stats_before_query(self, shell_io):
+        shell, output = shell_io
+        shell.run(["\\stats"])
+        assert "no query yet" in text(output)
+
+    def test_quit_stops_processing(self, shell_io):
+        shell, output = shell_io
+        shell.run(["\\q", "\\dt"])  # \dt never runs
+        assert "bye" in text(output)
+        assert "tables" not in text(output)
+
+    def test_unknown_command(self, shell_io):
+        shell, output = shell_io
+        shell.run(["\\frobnicate"])
+        assert "unknown command" in text(output)
+
+    def test_help(self, shell_io):
+        shell, output = shell_io
+        shell.run(["\\h"])
+        assert "meta-commands" in text(output)

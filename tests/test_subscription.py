@@ -1,0 +1,79 @@
+"""Subscription state machine (Figure 4)."""
+
+import pytest
+
+from repro.sharding.subscription import (
+    Subscription,
+    SubscriptionState,
+    validate_transition,
+)
+
+P = SubscriptionState.PENDING
+PA = SubscriptionState.PASSIVE
+A = SubscriptionState.ACTIVE
+R = SubscriptionState.REMOVING
+
+
+class TestTransitions:
+    @pytest.mark.parametrize(
+        "current,target",
+        [
+            (None, P),  # create
+            (P, PA),  # metadata transferred
+            (PA, A),  # cache warmed (or skipped)
+            (A, R),  # start unsubscribe
+            (R, None),  # dropped
+            (A, P),  # node recovery forces re-subscription
+            (R, A),  # removal abandoned
+            (P, None),  # failed subscription dropped
+            (PA, None),
+            (PA, P),
+        ],
+    )
+    def test_legal(self, current, target):
+        validate_transition(current, target)  # no raise
+
+    @pytest.mark.parametrize(
+        "current,target",
+        [
+            (None, A),  # cannot jump straight to serving
+            (None, PA),
+            (None, R),
+            (P, A),  # must pass through PASSIVE
+            (P, R),
+            (A, PA),
+            (A, None),  # must go through REMOVING
+            (R, P),
+            (R, PA),
+        ],
+    )
+    def test_illegal(self, current, target):
+        with pytest.raises(ValueError):
+            validate_transition(current, target)
+
+
+class TestStateSemantics:
+    def test_serving_states(self):
+        assert A.serves_queries
+        assert R.serves_queries  # keeps serving until dropped
+        assert not P.serves_queries
+        assert not PA.serves_queries
+
+    def test_commit_participation(self):
+        # PASSIVE "can participate in commits and could be promoted to
+        # ACTIVE if all other subscribers fail".
+        assert PA.participates_in_commit
+        assert A.participates_in_commit
+        assert R.participates_in_commit
+        assert not P.participates_in_commit
+
+
+class TestSubscriptionObject:
+    def test_transitioned_returns_new(self):
+        sub = Subscription("n1", 0, P)
+        nxt = sub.transitioned(PA)
+        assert nxt.state is PA and sub.state is P
+
+    def test_transitioned_validates(self):
+        with pytest.raises(ValueError):
+            Subscription("n1", 0, P).transitioned(A)
