@@ -1,0 +1,18 @@
+PY := PYTHONPATH=src python
+
+.PHONY: test sim-smoke sim-campaign bench
+
+# Tier-1: the full test suite (includes the marked `sim` campaigns).
+test:
+	$(PY) -m pytest -x -q
+
+# Quick simulation confidence check: the seeded multi-seed campaigns only.
+sim-smoke:
+	$(PY) -m pytest tests/test_simulation.py -m sim -q
+
+# Longer chaos run straight from the CLI (prints per-seed digests).
+sim-campaign:
+	$(PY) -m repro.sim --seeds 25
+
+bench:
+	$(PY) -m pytest benchmarks -q

@@ -1,8 +1,13 @@
-"""Plain-text reporting for benchmark results (paper-style rows/series)."""
+"""Plain-text reporting for benchmark results (paper-style rows/series),
+plus machine-readable ``BENCH_*.json`` emission so runs can be compared
+across PRs — including the robustness trajectory (per-invariant check and
+violation counters from the simulation harness) alongside perf numbers."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def format_table(
@@ -39,3 +44,28 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:,.2f}"
     return str(value)
+
+
+def write_bench_json(
+    name: str,
+    payload: Dict[str, object],
+    invariant_counters: Optional[Dict[str, Dict[str, int]]] = None,
+    directory: str = ".",
+) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``invariant_counters`` is the simulation registry's
+    ``{invariant: {"checks": n, "violations": n}}`` map; recording it next
+    to the perf numbers gives every benchmark run a robustness trajectory
+    (did this PR trade correctness margin for speed?).
+    """
+    doc = dict(payload)
+    if invariant_counters is not None:
+        doc["invariant_counters"] = {
+            key: dict(value) for key, value in sorted(invariant_counters.items())
+        }
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

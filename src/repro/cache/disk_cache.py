@@ -113,7 +113,13 @@ class FileCache:
             return False
         if len(data) > self.capacity_bytes:
             return False
-        self._evict_for(len(data) - (self._index.size_of(name) or 0))
+        if name in self._index:
+            # Drop the old entry before making room: sizing eviction by the
+            # delta is wrong when the eviction loop picks the entry being
+            # replaced (its bytes would be reclaimed twice on paper, once
+            # in reality, leaving the cache over capacity).
+            self._forget(name)
+        self._evict_for(len(data))
         self._fs.write(self._key(name), data)
         self._index.add(name, len(data))
         self._info[name] = info
@@ -201,5 +207,26 @@ class FileCache:
         return self._index.total_bytes
 
     @property
+    def pinned_bytes(self) -> int:
+        return sum(self._index.size_of(n) or 0 for n in self._pinned)
+
+    @property
     def file_count(self) -> int:
         return len(self._index)
+
+    def capacity_violation(self) -> Optional[str]:
+        """Invariant accessor: None when cached bytes respect capacity.
+
+        Pinned entries are exempt from eviction, so a cache whose overflow
+        is entirely attributable to pins is within contract; any other
+        overflow is a bug (eviction failed to make room).
+        """
+        used = self._index.total_bytes
+        if used <= self.capacity_bytes:
+            return None
+        if used - self.pinned_bytes <= self.capacity_bytes:
+            return None  # overflow forced by shaping-policy pins
+        return (
+            f"cache holds {used} bytes > capacity {self.capacity_bytes} "
+            f"(pinned {self.pinned_bytes})"
+        )

@@ -83,6 +83,23 @@ class Catalog:
             self._pins[version] = count
         self._gc_states()
 
+    def pinned_versions(self) -> List[int]:
+        """Versions running queries hold pins on (invariant accessor)."""
+        return sorted(self._pins)
+
+    def pinned_states(self) -> List[CatalogState]:
+        """The retained catalog states behind each pinned version.
+
+        The simulation harness checks that *every* state a query could
+        still read from — not just the newest — references only storage
+        objects that exist on shared storage.
+        """
+        return [
+            self._recent[version]
+            for version in sorted(self._pins)
+            if version in self._recent
+        ]
+
     def min_pinned_version(self) -> int:
         """Oldest catalog version any running query references.
 

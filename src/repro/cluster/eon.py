@@ -211,6 +211,50 @@ class EonCluster:
             n for n in self.active_subscribers(shard_id) if self.nodes[n].is_up
         ]
 
+    # -- invariant accessors (simulation-test hook points) -------------------------
+
+    def uncovered_shards(self) -> List[int]:
+        """Shards with no up ACTIVE subscriber.
+
+        The global invariant (section 3.4) is that this list is empty
+        whenever the cluster is accepting work; a non-empty list is only
+        legitimate once the cluster has shut itself down.
+        """
+        if not any(n.is_up for n in self.nodes.values()):
+            return list(self.shard_map.all_shard_ids())
+        return [
+            shard_id
+            for shard_id in self.shard_map.all_shard_ids()
+            if not self.active_up_subscribers(shard_id)
+        ]
+
+    def all_catalog_sids(self, include_pinned: bool = True) -> Set[str]:
+        """Every storage name referenced by any up node's catalog.
+
+        With ``include_pinned``, states still pinned by running queries
+        count too — a file is only dereferenced once *no* reachable
+        catalog state mentions it.
+        """
+        sids: Set[str] = set()
+        for node in self.up_nodes():
+            sids |= node.catalog.state.storage_sids()
+            if include_pinned:
+                for state in node.catalog.pinned_states():
+                    sids |= state.storage_sids()
+        return sids
+
+    def running_instance_prefixes(self) -> List[str]:
+        """SID name prefixes of every live node instance.
+
+        A shared-storage object carrying one of these prefixes may be an
+        in-flight upload (written, not yet committed), so the reaper's
+        leaked-file sweep must not touch it (section 6.5).
+        """
+        return [
+            node.sid_factory.next_sid(local_oid=0).prefix
+            for node in self.up_nodes()
+        ]
+
     def check_viability(self) -> None:
         """Cluster invariants (section 3.4): quorum plus shard coverage.
 
@@ -244,27 +288,32 @@ class EonCluster:
             )
         if epoch is None:
             epoch = int(self.clock.now)
+        # Reference counting (section 6.5): a storage name referenced
+        # before the commit and by nobody after has hit refcount zero and
+        # belongs to the reaper.  Diffing the referenced set — rather than
+        # scanning the txn for explicit drop ops — also catches cascaded
+        # dereferences: dropping a container removes its delete vectors,
+        # dropping a table removes every container under it, and a
+        # same-transaction re-add (partition move) keeps the file live.
+        dropping = any(op["op"].startswith("drop_") for op in txn.ops)
+        before = self._referenced_sids() if dropping else None
         version = self.coordinator.commit(txn, epoch=epoch)
-        self._after_commit(txn)
+        self._after_commit(txn, before)
         return version
 
-    def _after_commit(self, txn: Transaction) -> None:
-        sub_change = False
-        # Partition moves drop and re-add the same storage in one
-        # transaction; such files stay referenced and must not be reaped.
-        readded = {
-            op["container"]["sid"]
+    def _referenced_sids(self) -> Set[str]:
+        sids: Set[str] = set()
+        for node in self.up_nodes():
+            sids |= node.catalog.state.storage_sids()
+        return sids
+
+    def _after_commit(self, txn: Transaction, before: Optional[Set[str]] = None) -> None:
+        sub_change = any(
+            op["op"] in ("set_subscription", "drop_subscription")
             for op in txn.ops
-            if op["op"] == "add_container"
-        }
-        for op in txn.ops:
-            kind = op["op"]
-            if kind in ("set_subscription", "drop_subscription"):
-                sub_change = True
-            elif kind == "drop_container" or kind == "drop_delete_vector":
-                sid = op["sid"]
-                if sid in readded:
-                    continue
+        )
+        if before is not None:
+            for sid in sorted(before - self._referenced_sids()):
                 for node in self.up_nodes():
                     node.cache.drop(sid)
                 self.reaper.note_drop(sid, self.version)
@@ -700,6 +749,11 @@ class EonCluster:
         if warm_cache:
             report = self._warm_cache_from_peer(node, shard_id)
         self._commit_sub_state(node_name, shard_id, SubscriptionState.ACTIVE)
+        # The backfill edited catalog state without log records, so a
+        # restart's log replay cannot reproduce it.  Checkpointing now pins
+        # the post-backfill state as the recovery base, keeping replay's
+        # shard filter consistent with the log span it covers.
+        node.catalog.write_checkpoint()
         return report
 
     def _full_metadata_rebuild(self, node: Node) -> None:
@@ -800,6 +854,9 @@ class EonCluster:
                 del trimmed.delete_vectors[sid]
         node.catalog.state = trimmed
         node.catalog._recent[trimmed.version] = trimmed
+        # As in subscribe(): the trim is surgery the log never saw, so a
+        # later restart must recover from a post-trim checkpoint.
+        node.catalog.write_checkpoint()
 
     # -- failure & recovery -------------------------------------------------------------------------
 
@@ -867,10 +924,20 @@ class EonCluster:
             rng=random.Random(self.rng.getrandbits(64)),
         )
         # Catch the new node up on the commit stream; it subscribes to
-        # nothing yet, so shard-scoped metadata is filtered out.
+        # nothing yet, so shard-scoped metadata is filtered out.  After a
+        # revive or truncation the retained history no longer reaches back
+        # to version 1, so replaying from an empty catalog is impossible —
+        # seed the catalog from a peer instead (same path recovery uses
+        # when a node's gap outlives the history).
         node.catalog.subscribed_shards = set()
-        for record in self.coordinator.log_history:
-            node.catalog.apply_commit(record, persist=False)
+        history = self.coordinator.log_history
+        if history and history[0].version == 1:
+            for record in history:
+                node.catalog.apply_commit(record, persist=False)
+        elif self.version:
+            # Empty-but-truncated history (fresh revive) lands here too:
+            # the cluster is at base_version with nothing to replay.
+            self._full_metadata_rebuild(node)
         self.nodes[name] = node
         if subcluster:
             self.subclusters.setdefault(subcluster, set()).add(name)

@@ -48,6 +48,10 @@ class FileReaper:
     def pending_count(self) -> int:
         return len(self._pending)
 
+    def pending_sids(self) -> Set[str]:
+        """Dropped-but-not-yet-deleted storage names (invariant accessor)."""
+        return {sid for sid, _v in self._pending}
+
     def cluster_min_query_version(self) -> int:
         """The gossiped minimum catalog version of running queries.
 
@@ -100,10 +104,7 @@ class FileReaper:
         for node in cluster.up_nodes():
             referenced |= node.catalog.state.storage_sids()
         referenced |= {sid for sid, _v in self._pending}
-        running_prefixes = [
-            node.sid_factory.next_sid(local_oid=0).prefix
-            for node in cluster.up_nodes()
-        ]
+        running_prefixes = cluster.running_instance_prefixes()
         deleted = 0
         for name in cluster.shared_data.list():
             if name in referenced:

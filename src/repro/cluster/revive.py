@@ -96,12 +96,29 @@ def revive(
         # "All nodes individually download their catalog from shared
         # storage": copy the uploaded checkpoints and logs to local disk,
         # then run normal startup recovery and truncate.
-        for obj in remote.fs.list():
+        uploaded = remote.fs.list()
+        if not uploaded:
+            raise ReviveError(
+                f"node {name} has no uploaded metadata under incarnation "
+                f"{old_incarnation}; cannot revive"
+            )
+        if not remote.checkpoint_versions():
+            # Logs alone cannot seed recovery: replay starts from a
+            # checkpoint, so a missing/deleted checkpoint object is fatal
+            # for this node's reconstruction.
+            raise ReviveError(
+                f"node {name} has transaction logs but no checkpoint "
+                "object on shared storage; cannot revive"
+            )
+        for obj in uploaded:
             node.local_fs.write(obj, remote.fs.read(obj))
         node.catalog.subscribed_shards = None  # learn subscriptions first
         node.catalog.recover()
         node.catalog.truncate_to(truncation)
         _trim_to_subscriptions(node)
+        # The trim is not represented in the log; checkpoint so a later
+        # restart recovers from the post-trim state.
+        node.catalog.write_checkpoint()
 
     # Cluster-formation invariants: every shard must be covered by a
     # subscription that was ACTIVE when the nodes went down (section 3.4).

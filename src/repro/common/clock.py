@@ -33,6 +33,9 @@ class SimClock:
 
     def __init__(self) -> None:
         self.now: float = 0.0
+        #: High-water mark of ``now``; an invariant checker can assert
+        #: ``now == max_now`` to prove simulated time never ran backwards.
+        self.max_now: float = 0.0
         self._heap: List[tuple] = []
         self._seq = itertools.count()
 
@@ -49,6 +52,7 @@ class SimClock:
         if dt < 0:
             raise ValueError("cannot move time backwards")
         self.now += dt
+        self.max_now = max(self.max_now, self.now)
 
     # -- event loop ----------------------------------------------------------
 
@@ -57,13 +61,17 @@ class SimClock:
         while self._heap:
             t, _, callback = self._heap[0]
             if until is not None and t > until:
-                self.now = until
+                # ``until`` in the past must not rewind the clock.
+                self.now = max(self.now, until)
+                self.max_now = max(self.max_now, self.now)
                 return
             heapq.heappop(self._heap)
             self.now = t
+            self.max_now = max(self.max_now, self.now)
             callback()
         if until is not None and until > self.now:
             self.now = until
+            self.max_now = max(self.max_now, self.now)
 
     @property
     def pending_events(self) -> int:

@@ -20,6 +20,7 @@ and failure surface* the Eon code must handle:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -65,19 +66,72 @@ class S3CostModel:
 
 @dataclass
 class FaultInjector:
-    """Deterministic transient-fault source for S3 requests."""
+    """Deterministic transient-fault source for S3 requests.
+
+    Every probability draw goes through the injector's own seeded RNG —
+    never the module-level ``random`` state — so two injectors built with
+    the same seed and hit with the same request sequence make bit-identical
+    decisions.  :meth:`decision_digest` folds each decision into a running
+    SHA-256 so a test (or the simulation harness) can assert two runs were
+    byte-for-byte reproducible.
+
+    :meth:`begin_burst` models an S3 throttling burst or transient-fault
+    storm: the failure rate jumps to ``rate`` for the next ``ops``
+    requests, then falls back to the base ``failure_rate``.
+    """
 
     failure_rate: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        self._burst_rate: Optional[float] = None
+        self._burst_ops_left = 0
+        self.draws = 0
+        self.injected = 0
+        self._digest = hashlib.sha256()
+
+    # -- burst control ---------------------------------------------------------
+
+    def begin_burst(self, rate: float, ops: int) -> None:
+        """Raise the failure rate to ``rate`` for the next ``ops`` requests."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("burst rate must be in [0, 1]")
+        self._burst_rate = rate
+        self._burst_ops_left = max(0, ops)
+
+    @property
+    def burst_active(self) -> bool:
+        return self._burst_ops_left > 0
+
+    @property
+    def effective_rate(self) -> float:
+        if self._burst_ops_left > 0 and self._burst_rate is not None:
+            return self._burst_rate
+        return self.failure_rate
+
+    # -- the injection point ---------------------------------------------------
 
     def maybe_fail(self, operation: str) -> None:
-        if self.failure_rate > 0 and self._rng.random() < self.failure_rate:
+        rate = self.effective_rate
+        if self._burst_ops_left > 0:
+            self._burst_ops_left -= 1
+        if rate <= 0:
+            return
+        self.draws += 1
+        failed = self._rng.random() < rate
+        self._digest.update(
+            f"{operation}:{'F' if failed else 'ok'};".encode("ascii")
+        )
+        if failed:
+            self.injected += 1
             raise TransientStorageError(
                 f"S3 transient failure during {operation} (injected)"
             )
+
+    def decision_digest(self) -> str:
+        """SHA-256 over the sequence of (operation, decision) pairs so far."""
+        return self._digest.hexdigest()
 
 
 class SimulatedS3(Filesystem):
@@ -149,6 +203,16 @@ class SimulatedS3(Filesystem):
         return self.latency.write_seconds(nbytes)
 
     # -- introspection ------------------------------------------------------------
+
+    def peek(self, prefix: str = "") -> List[str]:
+        """Out-of-band object listing for tests and invariant checkers.
+
+        Unlike :meth:`list`, this charges no request, no latency, no
+        dollars, and never fails — checking an invariant must not perturb
+        the simulation it is checking (extra requests would consume fault
+        RNG draws and change the schedule).
+        """
+        return sorted(n for n in self._objects if n.startswith(prefix))
 
     @property
     def object_count(self) -> int:

@@ -1,0 +1,588 @@
+"""The simulation's action vocabulary.
+
+Every scenario step is one of these dataclasses.  Actions are *concrete*
+— all parameters (which node, how many rows, what burst rate) are fixed
+at generation time — so a recorded schedule replays exactly, and schedule
+shrinking can drop steps without changing what the remaining steps do.
+
+``apply(world)`` returns an outcome string for the trace:
+
+* ``"ok"`` — the action ran;
+* ``"skipped"`` — a precondition no longer holds (normal during replay of
+  a shrunk schedule: the step that set the precondition was removed);
+* ``"refused"`` — the cluster legitimately declined (shut down, or the
+  action would destroy quorum/shard coverage);
+* ``"gave_up_transient"`` — an injected S3 fault outlived the retry loop;
+* ``"shutdown"`` — the action triggered the cluster's self-shutdown.
+
+An action raises :class:`InvariantViolation` only for genuine bugs: a
+query answer diverging from the oracle, a pinned snapshot reading a
+deleted file, or a revive failing after a clean shutdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import (
+    CatalogError,
+    ClusterError,
+    ObjectNotFound,
+    QuorumLost,
+    ReviveError,
+    ShardCoverageLost,
+    TransientStorageError,
+)
+from repro.sharding.shard import REPLICA_SHARD_ID
+from repro.sim.invariants import InvariantViolation
+from repro.sim.oracle import rows_key
+from repro.sql.parser import parse
+
+
+@dataclass(frozen=True)
+class CopyBatch:
+    """COPY a deterministic batch of rows into the workload table."""
+
+    key_base: int
+    n: int
+
+    name = "copy"
+
+    def rows(self) -> List[Tuple[int, str, int]]:
+        return [
+            (k, f"g{k % 5}", (k * 7) % 101)
+            for k in range(self.key_base, self.key_base + self.n)
+        ]
+
+    def detail(self) -> str:
+        return f"base={self.key_base} n={self.n}"
+
+    def apply(self, world) -> str:
+        if world.cluster.shut_down:
+            return "refused"
+        rows = self.rows()
+        try:
+            world.cluster.load(world.table, rows)
+        except TransientStorageError:
+            # Retries exhausted before the commit point: the statement
+            # failed whole, so the oracle must not apply it either.  Any
+            # files uploaded before the failure are protected from the
+            # leak sweep by the writer's live instance-id prefix.
+            return "gave_up_transient"
+        except ClusterError:
+            return "refused"
+        world.oracle.load(world.table, rows)
+        return "ok"
+
+
+@dataclass(frozen=True)
+class Query:
+    """Run a SELECT on the chaos cluster and diff it against the oracle."""
+
+    sql: str
+    crunch: Optional[str] = None  # None | "hash" | "container"
+    nodes_per_shard: int = 1
+
+    name = "query"
+
+    def detail(self) -> str:
+        if self.crunch:
+            return f"{self.sql} [crunch={self.crunch}x{self.nodes_per_shard}]"
+        return self.sql
+
+    def apply(self, world) -> str:
+        if world.cluster.shut_down:
+            return "refused"
+        options = {}
+        if self.crunch:
+            options = {"crunch": self.crunch, "nodes_per_shard": self.nodes_per_shard}
+        try:
+            actual = rows_key(world.cluster.query(self.sql, **options))
+        except TransientStorageError:
+            return "gave_up_transient"
+        except ObjectNotFound as exc:
+            raise InvariantViolation(
+                "catalog-storage",
+                world.seed,
+                world.step,
+                f"query {self.sql!r} read a missing object: {exc}",
+            )
+        expected = world.oracle.query_rows(self.sql)
+        if actual != expected:
+            raise InvariantViolation(
+                "oracle-equivalence",
+                world.seed,
+                world.step,
+                f"{self.sql!r}: cluster={actual[:4]} oracle={expected[:4]}",
+            )
+        return "ok"
+
+
+@dataclass(frozen=True)
+class DmlStatement:
+    """A DELETE or UPDATE mirrored onto the oracle, row counts compared."""
+
+    sql: str
+
+    name = "dml"
+
+    def detail(self) -> str:
+        return self.sql
+
+    def apply(self, world) -> str:
+        if world.cluster.shut_down:
+            return "refused"
+        try:
+            affected = world.cluster.execute(self.sql)
+        except TransientStorageError:
+            return "gave_up_transient"
+        except ClusterError:
+            return "refused"
+        expected = world.oracle.execute(self.sql)
+        if _affected_rows(affected) != _affected_rows(expected):
+            raise InvariantViolation(
+                "oracle-equivalence",
+                world.seed,
+                world.step,
+                f"{self.sql!r} affected {_affected_rows(affected)} rows, "
+                f"oracle {_affected_rows(expected)}",
+            )
+        return "ok"
+
+
+def _affected_rows(result) -> object:
+    return getattr(result, "rows_affected", result)
+
+
+@dataclass(frozen=True)
+class KillNode:
+    """Take a node down, optionally losing its local disk (cache + logs)."""
+
+    node: str
+    lose_local_disk: bool = False
+
+    name = "kill"
+
+    def detail(self) -> str:
+        return f"{self.node}{' -disk' if self.lose_local_disk else ''}"
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        target = cluster.nodes.get(self.node)
+        if target is None or not target.is_up:
+            return "skipped"
+        # Only kill if the cluster survives: quorum holds and every shard
+        # keeps an up ACTIVE subscriber.  (The generator respects this too;
+        # re-checking keeps shrunk-schedule replays viability-safe.)
+        up_after = len(cluster.up_nodes()) - 1
+        if up_after * 2 <= len(cluster.nodes):
+            return "refused"
+        for shard_id in cluster.shard_map.all_shard_ids():
+            others = [
+                n for n in cluster.active_up_subscribers(shard_id) if n != self.node
+            ]
+            if not others:
+                return "refused"
+        world.release_pins_touching(self.node)
+        # A dead node's instance prefix no longer protects its in-flight
+        # uploads; they are leaks until the next sweep runs.
+        world.cleanup_completed = False
+        try:
+            cluster.kill_node(self.node, lose_local_disk=self.lose_local_disk)
+        except (QuorumLost, ShardCoverageLost):
+            return "shutdown"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class RecoverNode:
+    """Restart a down node: metadata catch-up, re-subscription, cache warm."""
+
+    node: str
+
+    name = "recover"
+
+    def detail(self) -> str:
+        return self.node
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        target = cluster.nodes.get(self.node)
+        if target is None or target.is_up:
+            return "skipped"
+        # Restart regenerates the node's instance id: objects under the old
+        # prefix lose their in-flight protection until the next sweep.
+        world.cleanup_completed = False
+        try:
+            cluster.recover_node(self.node)
+        except TransientStorageError:
+            # Cache warming gave up mid-recovery; the node is up but some
+            # subscriptions may be stuck short of ACTIVE.  Coverage still
+            # holds through the peers that let us kill this node at all.
+            return "gave_up_transient"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class S3Burst:
+    """An S3 throttling burst / transient-fault storm."""
+
+    rate: float
+    ops: int
+
+    name = "s3_burst"
+
+    def detail(self) -> str:
+        return f"rate={self.rate} ops={self.ops}"
+
+    def apply(self, world) -> str:
+        world.cluster.shared.faults.begin_burst(self.rate, self.ops)
+        return "ok"
+
+
+@dataclass(frozen=True)
+class Subscribe:
+    """Subscribe a node to a shard (PENDING -> PASSIVE -> warm -> ACTIVE)."""
+
+    node: str
+    shard_id: int
+
+    name = "subscribe"
+
+    def detail(self) -> str:
+        return f"{self.node}<-shard{self.shard_id}"
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        target = cluster.nodes.get(self.node)
+        if target is None or not target.is_up:
+            return "skipped"
+        try:
+            cluster.subscribe(self.node, self.shard_id)
+        except CatalogError:
+            return "skipped"  # already subscribed / invalid transition
+        except TransientStorageError:
+            return "gave_up_transient"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class Unsubscribe:
+    """Drop a node's subscription (REMOVING, verify coverage, drop)."""
+
+    node: str
+    shard_id: int
+
+    name = "unsubscribe"
+
+    def detail(self) -> str:
+        return f"{self.node}-/->shard{self.shard_id}"
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        if self.shard_id == REPLICA_SHARD_ID:
+            return "skipped"  # every node keeps the replica shard
+        target = cluster.nodes.get(self.node)
+        if target is None or not target.is_up:
+            return "skipped"
+        state = cluster.any_up_node().catalog.state
+        if (self.node, self.shard_id) not in state.subscriptions:
+            return "skipped"
+        others = [
+            n
+            for n in cluster.active_up_subscribers(self.shard_id)
+            if n != self.node
+        ]
+        if not others:
+            return "refused"
+        try:
+            cluster.unsubscribe(self.node, self.shard_id)
+        except ShardCoverageLost:
+            return "refused"
+        except CatalogError:
+            return "skipped"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class AddNode:
+    """Scale out: add a node, balanced subscriptions, warmed cache."""
+
+    node: str
+
+    name = "add_node"
+
+    def detail(self) -> str:
+        return self.node
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        if self.node in cluster.nodes:
+            return "skipped"
+        try:
+            cluster.add_node(self.node)
+        except TransientStorageError:
+            return "gave_up_transient"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class RemoveNode:
+    """Scale in: gracefully unsubscribe everywhere, then drop the node."""
+
+    node: str
+
+    name = "remove_node"
+
+    def detail(self) -> str:
+        return self.node
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        target = cluster.nodes.get(self.node)
+        if target is None or not target.is_up:
+            return "skipped"
+        state = cluster.any_up_node().catalog.state
+        shards = [s for (n, s), _ in state.subscriptions.items() if n == self.node]
+        for shard_id in shards:
+            others = [
+                n
+                for n in cluster.active_up_subscribers(shard_id)
+                if n != self.node
+            ]
+            if not others:
+                return "refused"
+        world.release_pins_touching(self.node)
+        world.cleanup_completed = False
+        try:
+            cluster.remove_node(self.node)
+        except ShardCoverageLost:
+            return "refused"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class PinSnapshot:
+    """Open a long-running query: pin catalog snapshots and remember the
+    oracle's answer; :class:`QueryPinned` must keep getting that answer no
+    matter what commits, drops, or mergeouts happen in between."""
+
+    tag: str
+    sql: str
+
+    name = "pin"
+
+    def detail(self) -> str:
+        return f"{self.tag}: {self.sql}"
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        if self.tag in world.pins:
+            return "skipped"
+        expected = world.oracle.query_rows(self.sql)
+        session = cluster.create_session()
+        world.pins[self.tag] = PinnedQuery(session, self.sql, expected)
+        return "ok"
+
+
+class PinnedQuery:
+    """Book-keeping for one open snapshot: the session holding the pins,
+    the SQL, and the answer frozen at pin time."""
+
+    def __init__(self, session, sql: str, expected):
+        self.session = session
+        self.sql = sql
+        self.expected = expected
+
+
+@dataclass(frozen=True)
+class QueryPinned:
+    """Re-run a pinned query through its original snapshot."""
+
+    tag: str
+
+    name = "query_pinned"
+
+    def detail(self) -> str:
+        return self.tag
+
+    def apply(self, world) -> str:
+        pin = world.pins.get(self.tag)
+        if pin is None:
+            return "skipped"
+        cluster = world.cluster
+        if cluster.shut_down or any(
+            name not in cluster.nodes or not cluster.nodes[name].is_up
+            for name in pin.session.participants()
+        ):
+            world.release_pin(self.tag)
+            return "stale_released"
+        statement = parse(pin.sql)[0]
+        try:
+            actual = rows_key(
+                cluster.query_statement(statement, session=pin.session)
+            )
+        except ObjectNotFound as exc:
+            raise InvariantViolation(
+                "pinned-read",
+                world.seed,
+                world.step,
+                f"pinned snapshot v{pin.session.snapshots[pin.session.initiator].version} "
+                f"read a deleted object: {exc}",
+            )
+        except TransientStorageError:
+            return "gave_up_transient"
+        if actual != pin.expected:
+            raise InvariantViolation(
+                "oracle-equivalence",
+                world.seed,
+                world.step,
+                f"pinned {pin.sql!r} drifted: {actual[:4]} != {pin.expected[:4]}",
+            )
+        return "ok"
+
+
+@dataclass(frozen=True)
+class ReleasePin:
+    """Finish a long-running query: unpin its snapshots."""
+
+    tag: str
+
+    name = "release_pin"
+
+    def detail(self) -> str:
+        return self.tag
+
+    def apply(self, world) -> str:
+        if self.tag not in world.pins:
+            return "skipped"
+        world.release_pin(self.tag)
+        return "ok"
+
+
+@dataclass(frozen=True)
+class MaintenanceTick:
+    """One round of the background services: catalog sync, cluster_info,
+    reaper poll, leaked-file sweep.  Completing the sweep arms the
+    no-leaked-objects invariant for the following checks."""
+
+    checkpoint: bool = False
+
+    name = "maintenance"
+
+    def detail(self) -> str:
+        return "checkpoint" if self.checkpoint else "sync"
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        try:
+            cluster.sync_catalogs(include_checkpoint=self.checkpoint)
+            cluster.write_cluster_info()
+            cluster.reaper.poll()
+            cluster.reaper.cleanup_leaked_files()
+        except TransientStorageError:
+            return "gave_up_transient"
+        world.cleanup_completed = True
+        return "ok"
+
+
+@dataclass(frozen=True)
+class Mergeout:
+    """Run the mergeout coordinators over every shard."""
+
+    max_jobs_per_shard: int = 2
+
+    name = "mergeout"
+
+    def detail(self) -> str:
+        return f"max_jobs={self.max_jobs_per_shard}"
+
+    def apply(self, world) -> str:
+        from repro.tuple_mover.mergeout import MergeoutCoordinatorService
+
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        try:
+            MergeoutCoordinatorService(cluster).run_all(
+                max_jobs_per_shard=self.max_jobs_per_shard
+            )
+        except TransientStorageError:
+            return "gave_up_transient"
+        return "ok"
+
+
+@dataclass(frozen=True)
+class AdvanceClock:
+    """Move simulated time forward (lease aging, epoch advancement)."""
+
+    dt: float
+
+    name = "advance_clock"
+
+    def detail(self) -> str:
+        return f"dt={self.dt}"
+
+    def apply(self, world) -> str:
+        clock = world.clock
+        clock.run(until=clock.now + self.dt)
+        return "ok"
+
+
+@dataclass(frozen=True)
+class ReviveCluster:
+    """Gracefully shut the cluster down and revive it from shared storage
+    alone — the ultimate catalog/storage durability check."""
+
+    revive_seed: int
+
+    name = "revive"
+
+    def detail(self) -> str:
+        return f"seed={self.revive_seed}"
+
+    def apply(self, world) -> str:
+        from repro.cluster.revive import revive
+
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "skipped"
+        if cluster.shared.faults.burst_active:
+            return "refused"  # don't shut down into a fault storm
+        if any(not n.is_up for n in cluster.nodes.values()):
+            return "refused"  # revive from a clean, fully-up shutdown
+        world.release_all_pins()
+        try:
+            cluster.graceful_shutdown()
+        except TransientStorageError:
+            return "gave_up_transient"
+        try:
+            new_cluster = revive(
+                cluster.shared, clock=world.clock, seed=self.revive_seed
+            )
+        except TransientStorageError:
+            return "gave_up_transient"
+        except ReviveError as exc:
+            # After a graceful shutdown (complete sync, expired lease) a
+            # revive failure means durable state is broken — a real bug.
+            raise InvariantViolation("revive", world.seed, world.step, str(exc))
+        world.cluster = new_cluster
+        world.cleanup_completed = False
+        return "ok"

@@ -1,0 +1,224 @@
+"""Seeded, state-aware scenario generation.
+
+The generator owns its *own* ``random.Random(seed)`` — distinct from the
+cluster's and the fault injector's RNG streams — and samples one concrete
+action per step from a weighted menu.  The menu is state-aware: it only
+offers kills that the cluster can survive, recoveries when something is
+down, pinned-query steps when a pin is open, and a revive when the
+cluster is whole.  Because every draw is from the seeded stream and the
+menu is derived deterministically from world state, the same seed always
+generates the same schedule against the same world.
+
+Shrinking note: generated actions carry concrete parameters, so the
+harness's recorded schedule — not the generator — is the replay artifact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Tuple
+
+from repro.sim import actions as act
+
+
+class ScenarioGenerator:
+    """Draws the next action from the seeded stream, given world state."""
+
+    #: SQL pool for ordinary (unpinned) queries; {cut} is a key threshold.
+    QUERY_POOL = (
+        "select count(*) from {table}",
+        "select sum(v) from {table}",
+        "select g, count(*) c from {table} group by g",
+        "select g, sum(v) s from {table} group by g",
+        "select count(*) from {table} where k < {cut}",
+        "select sum(v) from {table} where k >= {cut}",
+    )
+
+    #: SQL pool for pinned snapshots (must stay exact across later DML).
+    PIN_POOL = (
+        "select count(*) from {table}",
+        "select sum(v) from {table}",
+        "select g, count(*) c from {table} group by g",
+    )
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed ^ 0x9E3779B9)
+        self._next_key = 1000
+        self._next_pin = 0
+        self._next_extra_node = 0
+
+    def next_action(self, world):
+        menu = self._menu(world)
+        total = sum(weight for weight, _ in menu)
+        pick = self.rng.random() * total
+        acc = 0.0
+        for weight, factory in menu:
+            acc += weight
+            if pick < acc:
+                return factory(world)
+        return menu[-1][1](world)
+
+    # -- menu construction -----------------------------------------------------
+
+    def _menu(self, world) -> List[Tuple[float, Callable]]:
+        cluster = world.cluster
+        menu: List[Tuple[float, Callable]] = [
+            (20.0, self._copy),
+            (16.0, self._query),
+            (5.0, self._crunch_query),
+            (7.0, self._dml),
+            (9.0, self._maintenance),
+            (4.0, self._mergeout),
+            (7.0, self._advance_clock),
+            (6.0, self._burst),
+        ]
+        if cluster.shut_down:
+            # Nothing sensible left but letting time pass; the harness
+            # still checks invariants on the carcass every step.
+            return [(1.0, self._advance_clock)]
+        if self._killable_nodes(world):
+            menu.append((7.0, self._kill))
+        if any(not n.is_up for n in cluster.nodes.values()):
+            menu.append((12.0, self._recover))
+        menu.append((4.0, self._subscribe))
+        menu.append((4.0, self._unsubscribe))
+        if len(world.pins) < 2:
+            menu.append((6.0, self._pin))
+        if world.pins:
+            menu.append((7.0, self._query_pinned))
+            menu.append((4.0, self._release_pin))
+        menu.append((3.0, self._add_node))
+        if any(name.startswith("extra") for name in cluster.nodes):
+            menu.append((3.0, self._remove_node))
+        if all(n.is_up for n in cluster.nodes.values()) and not cluster.shared.faults.burst_active:
+            menu.append((2.0, self._revive))
+        return menu
+
+    # -- factories (each consumes generator-RNG draws only) --------------------
+
+    def _copy(self, world) -> act.CopyBatch:
+        n = self.rng.randrange(10, 40)
+        base = self._next_key
+        self._next_key += n
+        return act.CopyBatch(key_base=base, n=n)
+
+    def _cut(self) -> int:
+        return 1000 + self.rng.randrange(0, 400)
+
+    def _query(self, world) -> act.Query:
+        template = self.QUERY_POOL[self.rng.randrange(len(self.QUERY_POOL))]
+        return act.Query(template.format(table=world.table, cut=self._cut()))
+
+    def _crunch_query(self, world) -> act.Query:
+        template = self.QUERY_POOL[self.rng.randrange(len(self.QUERY_POOL))]
+        mode = "hash" if self.rng.random() < 0.5 else "container"
+        return act.Query(
+            template.format(table=world.table, cut=self._cut()),
+            crunch=mode,
+            nodes_per_shard=2,
+        )
+
+    def _dml(self, world):
+        cut = self._cut()
+        if self.rng.random() < 0.5:
+            return act.DmlStatement(f"delete from {world.table} where k < {cut}")
+        return act.DmlStatement(f"update {world.table} set v = v + 1 where k < {cut}")
+
+    def _killable_nodes(self, world) -> List[str]:
+        cluster = world.cluster
+        up = cluster.up_nodes()
+        if (len(up) - 1) * 2 <= len(cluster.nodes):
+            return []
+        out = []
+        for node in up:
+            survivable = all(
+                any(
+                    n != node.name
+                    for n in cluster.active_up_subscribers(shard_id)
+                )
+                for shard_id in cluster.shard_map.all_shard_ids()
+            )
+            if survivable:
+                out.append(node.name)
+        return out
+
+    def _kill(self, world):
+        candidates = self._killable_nodes(world)
+        if not candidates:
+            return self._query(world)
+        name = candidates[self.rng.randrange(len(candidates))]
+        return act.KillNode(name, lose_local_disk=self.rng.random() < 0.3)
+
+    def _recover(self, world):
+        down = sorted(
+            n.name for n in world.cluster.nodes.values() if not n.is_up
+        )
+        if not down:
+            return self._query(world)
+        return act.RecoverNode(down[self.rng.randrange(len(down))])
+
+    def _burst(self, world) -> act.S3Burst:
+        rate = round(0.5 + self.rng.random() * 0.45, 3)
+        ops = self.rng.randrange(5, 30)
+        return act.S3Burst(rate=rate, ops=ops)
+
+    def _subscribe(self, world):
+        cluster = world.cluster
+        up = sorted(n.name for n in cluster.up_nodes())
+        if not up:
+            return self._advance_clock(world)
+        node = up[self.rng.randrange(len(up))]
+        shard = self.rng.randrange(cluster.shard_map.count)
+        return act.Subscribe(node, shard)
+
+    def _unsubscribe(self, world):
+        cluster = world.cluster
+        up = sorted(n.name for n in cluster.up_nodes())
+        if not up:
+            return self._advance_clock(world)
+        node = up[self.rng.randrange(len(up))]
+        shard = self.rng.randrange(cluster.shard_map.count)
+        return act.Unsubscribe(node, shard)
+
+    def _pin(self, world):
+        template = self.PIN_POOL[self.rng.randrange(len(self.PIN_POOL))]
+        tag = f"pin{self._next_pin}"
+        self._next_pin += 1
+        return act.PinSnapshot(tag, template.format(table=world.table))
+
+    def _query_pinned(self, world):
+        tags = sorted(world.pins)
+        if not tags:
+            return self._query(world)
+        return act.QueryPinned(tags[self.rng.randrange(len(tags))])
+
+    def _release_pin(self, world):
+        tags = sorted(world.pins)
+        if not tags:
+            return self._query(world)
+        return act.ReleasePin(tags[self.rng.randrange(len(tags))])
+
+    def _maintenance(self, world) -> act.MaintenanceTick:
+        return act.MaintenanceTick(checkpoint=self.rng.random() < 0.4)
+
+    def _mergeout(self, world) -> act.Mergeout:
+        return act.Mergeout(max_jobs_per_shard=2)
+
+    def _advance_clock(self, world) -> act.AdvanceClock:
+        return act.AdvanceClock(dt=float(self.rng.randrange(1, 120)))
+
+    def _add_node(self, world):
+        name = f"extra{self._next_extra_node}"
+        self._next_extra_node += 1
+        return act.AddNode(name)
+
+    def _remove_node(self, world):
+        extras = sorted(
+            name for name in world.cluster.nodes if name.startswith("extra")
+        )
+        if not extras:
+            return self._query(world)
+        return act.RemoveNode(extras[self.rng.randrange(len(extras))])
+
+    def _revive(self, world) -> act.ReviveCluster:
+        return act.ReviveCluster(revive_seed=self.rng.randrange(1, 1 << 30))

@@ -1,0 +1,236 @@
+"""The simulation harness: world construction and campaign driving.
+
+A *campaign* is: build a :class:`SimWorld` from a seed, then run a seeded
+:class:`ScenarioGenerator` for N steps, checking every registered global
+invariant after every step.  The harness records each executed action into
+a schedule (the replay artifact) and each step into a :class:`Trace`
+(whose digest is the bit-reproducibility contract: same seed => same
+digest).  On a violation it stops and reports ``(seed, step)``; the
+schedule can then be replayed verbatim or shrunk (:mod:`repro.sim.shrink`).
+
+All nondeterminism flows from exactly three seeded streams — the
+generator's RNG, the cluster RNG, and the S3 fault injector's RNG — and
+invariant checks use only out-of-band accessors, so a campaign is a pure
+function of its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.eon import EonCluster
+from repro.common.clock import SimClock
+from repro.shared_storage.s3 import FaultInjector, SimulatedS3
+from repro.sim.generator import ScenarioGenerator
+from repro.sim.invariants import InvariantRegistry, InvariantViolation
+from repro.sim.oracle import SimOracle
+from repro.sim.trace import Trace
+
+DATA_PREFIX = "data_"
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for one campaign.  Defaults give the standard 4-node,
+    4-shard, 2-subscriber chaos cluster with a 2% base S3 fault rate."""
+
+    steps: int = 40
+    node_count: int = 4
+    shard_count: int = 4
+    subscribers_per_shard: int = 2
+    cache_bytes: int = 64 << 20
+    base_failure_rate: float = 0.02
+    table: str = "sim_t"
+    initial_rows: int = 60
+    halt: bool = True
+
+
+class SimWorld:
+    """Everything one campaign runs against: the chaos cluster, its fault
+    injector, the simulated clock, the oracle, and open pinned queries."""
+
+    def __init__(self, seed: int, config: Optional[CampaignConfig] = None):
+        self.config = config or CampaignConfig()
+        self.seed = seed
+        self.step = -1
+        self.clock = SimClock()
+        faults = FaultInjector(
+            failure_rate=self.config.base_failure_rate, seed=seed ^ 0x5EED
+        )
+        shared = SimulatedS3(faults=faults)
+        self.cluster = EonCluster(
+            [f"n{i}" for i in range(self.config.node_count)],
+            shard_count=self.config.shard_count,
+            shared_storage=shared,
+            subscribers_per_shard=self.config.subscribers_per_shard,
+            cache_bytes=self.config.cache_bytes,
+            seed=seed,
+            clock=self.clock,
+        )
+        self.oracle = SimOracle(seed)
+        self.table = self.config.table
+        self.pins = {}  # tag -> PinnedQuery
+        #: Armed by a completed leaked-file sweep; disarmed by anything
+        #: that changes which instance prefixes count as "live".
+        self.cleanup_completed = False
+        #: ``clock.now`` before the current step, for the monotone check.
+        self.clock_floor = 0.0
+        self._setup_schema()
+
+    def _setup_schema(self) -> None:
+        ddl = f"create table {self.table} (k int, g varchar, v int)"
+        self.cluster.execute(ddl)
+        self.oracle.execute(ddl)
+        if self.config.initial_rows:
+            rows = [
+                (k, f"g{k % 5}", (k * 7) % 101)
+                for k in range(self.config.initial_rows)
+            ]
+            self.cluster.load(self.table, rows)
+            self.oracle.load(self.table, rows)
+
+    # -- accessors used by invariants and actions ------------------------------
+
+    def data_object_names(self) -> List[str]:
+        """Data-prefix objects on shared storage, by catalog-visible name,
+        read out-of-band (no request, no fault draw)."""
+        return [
+            name[len(DATA_PREFIX):]
+            for name in self.cluster.shared.peek(DATA_PREFIX)
+        ]
+
+    def fingerprint(self) -> str:
+        """Deterministic per-step cluster fingerprint for the trace."""
+        cluster = self.cluster
+        up = ",".join(sorted(n.name for n in cluster.nodes.values() if n.is_up))
+        return (
+            f"v{cluster.version}/up:{up}/objs:{len(self.data_object_names())}"
+            f"/t:{self.clock.now:.3f}"
+        )
+
+    # -- pin management --------------------------------------------------------
+
+    def release_pin(self, tag: str) -> None:
+        pin = self.pins.pop(tag, None)
+        if pin is not None:
+            pin.session.release()
+
+    def release_pins_touching(self, node_name: str) -> None:
+        """A node going away invalidates sessions it participates in."""
+        for tag in sorted(self.pins):
+            if node_name in self.pins[tag].session.participants():
+                self.release_pin(tag)
+
+    def release_all_pins(self) -> None:
+        for tag in sorted(self.pins):
+            self.release_pin(tag)
+
+
+class CampaignResult:
+    """Outcome of one campaign or replay."""
+
+    def __init__(
+        self,
+        seed: int,
+        trace: Trace,
+        registry: InvariantRegistry,
+        schedule: List,
+        violation: Optional[InvariantViolation],
+    ):
+        self.seed = seed
+        self.trace = trace
+        self.registry = registry
+        self.schedule = schedule
+        self.violation = violation
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None and not self.registry.violations
+
+    def digest(self) -> str:
+        return self.trace.digest()
+
+    def report(self) -> str:
+        if self.ok:
+            return (
+                f"seed {self.seed}: {len(self.trace)} steps clean, "
+                f"digest {self.digest()[:16]}"
+            )
+        violation = self.violation or self.registry.violations[0]
+        return (
+            f"seed {self.seed}: {violation}\nlast steps:\n{self.trace.tail(8)}"
+        )
+
+
+def _execute_step(
+    world: SimWorld,
+    registry: InvariantRegistry,
+    trace: Trace,
+    step: int,
+    action,
+) -> Optional[InvariantViolation]:
+    """Run one action, record it, check invariants.  Returns the halting
+    violation (halt mode) or None (clean step, or non-halting registry)."""
+    world.step = step
+    world.clock_floor = world.clock.now
+    violation: Optional[InvariantViolation] = None
+    try:
+        outcome = action.apply(world)
+    except InvariantViolation as exc:
+        # Raised *inside* an action (oracle mismatch, pinned read of a
+        # deleted file, failed revive): count it like any other violation.
+        violation = exc
+        registry.note_external(exc)
+        outcome = f"violation:{exc.invariant}"
+    trace.record(step, action.name, action.detail(), outcome, world.fingerprint())
+    if violation is None:
+        try:
+            registry.check_all(world, world.seed, step)
+        except InvariantViolation as exc:
+            violation = exc
+    return violation if registry.halt else None
+
+
+def run_campaign(
+    seed: int,
+    config: Optional[CampaignConfig] = None,
+    registry: Optional[InvariantRegistry] = None,
+) -> CampaignResult:
+    """Generate and run one seeded scenario, invariant-checked per step."""
+    config = config or CampaignConfig()
+    registry = registry or InvariantRegistry(halt=config.halt)
+    world = SimWorld(seed, config)
+    generator = ScenarioGenerator(seed)
+    trace = Trace()
+    schedule: List = []
+    violation: Optional[InvariantViolation] = None
+    for step in range(config.steps):
+        action = generator.next_action(world)
+        schedule.append(action)
+        violation = _execute_step(world, registry, trace, step, action)
+        if violation is not None:
+            break
+    world.release_all_pins()
+    return CampaignResult(seed, trace, registry, schedule, violation)
+
+
+def replay_schedule(
+    seed: int,
+    schedule: List,
+    config: Optional[CampaignConfig] = None,
+) -> CampaignResult:
+    """Re-run a recorded schedule against a fresh world built from the
+    same seed.  Actions re-check their preconditions, so subsets of a
+    schedule (shrinking) replay without crashing."""
+    config = config or CampaignConfig()
+    registry = InvariantRegistry(halt=config.halt)
+    world = SimWorld(seed, config)
+    trace = Trace()
+    violation: Optional[InvariantViolation] = None
+    for step, action in enumerate(schedule):
+        violation = _execute_step(world, registry, trace, step, action)
+        if violation is not None:
+            break
+    world.release_all_pins()
+    return CampaignResult(seed, trace, registry, list(schedule), violation)

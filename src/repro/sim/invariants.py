@@ -1,0 +1,187 @@
+"""Global invariants checked after every simulation step.
+
+Each invariant is a function ``(world) -> Optional[str]``: ``None`` means
+the invariant holds, a string describes the violation.  The registry runs
+every invariant after every step, counts checks and violations per
+invariant (the robustness trajectory recorded into ``BENCH_*.json``), and
+— in the default halting mode — raises :class:`InvariantViolation`
+carrying the ``(seed, step)`` pair that reproduces the schedule.
+
+The registry reads cluster state only through out-of-band accessors
+(:meth:`SimulatedS3.peek`, catalog/cache properties) so that checking an
+invariant never consumes a fault-RNG draw, charges a request, or otherwise
+perturbs the simulation being checked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class InvariantViolation(ReproError):
+    """A global invariant failed at a specific step of a seeded schedule."""
+
+    def __init__(self, invariant: str, seed: int, step: int, detail: str):
+        self.invariant = invariant
+        self.seed = seed
+        self.step = step
+        self.detail = detail
+        super().__init__(
+            f"invariant {invariant!r} violated at {self.repro}: {detail}"
+        )
+
+    @property
+    def repro(self) -> str:
+        """The one-line reproduction handle: replay this seed to this step."""
+        return f"(seed={self.seed}, step={self.step})"
+
+
+# -- invariant implementations ------------------------------------------------------
+
+
+def shard_coverage(world) -> Optional[str]:
+    """Every shard has >= 1 up ACTIVE subscriber, or the cluster has shut
+    itself down and refuses writes (section 3.4)."""
+    cluster = world.cluster
+    if cluster.shut_down:
+        return None  # refusing work is the legitimate degraded state
+    uncovered = cluster.uncovered_shards()
+    if uncovered:
+        return f"shards {sorted(uncovered)} have no up ACTIVE subscriber"
+    return None
+
+
+def catalog_storage_consistency(world) -> Optional[str]:
+    """No reachable catalog state references a missing storage object.
+
+    "Reachable" includes states pinned by running queries: the reaper must
+    not delete a file any live snapshot can still read (section 6.5).
+    """
+    cluster = world.cluster
+    if not any(n.is_up for n in cluster.nodes.values()):
+        return None
+    objects = set(world.data_object_names())
+    missing = cluster.all_catalog_sids(include_pinned=True) - objects
+    if missing:
+        return (
+            f"{len(missing)} catalog SID(s) have no shared-storage object: "
+            f"{sorted(missing)[:3]}"
+        )
+    return None
+
+
+def no_leaked_objects(world) -> Optional[str]:
+    """After a leaked-file sweep, every data object is accounted for:
+    referenced by a catalog, pending deferred deletion, or prefixed by a
+    live instance id (possibly mid-upload)."""
+    if not world.cleanup_completed:
+        return None  # only meaningful right after cleanup_leaked_files ran
+    cluster = world.cluster
+    if cluster.shut_down:
+        return None
+    accounted = cluster.all_catalog_sids(include_pinned=True)
+    accounted |= cluster.reaper.pending_sids()
+    prefixes = cluster.running_instance_prefixes()
+    leaked = [
+        name
+        for name in world.data_object_names()
+        if name not in accounted and not any(name.startswith(p) for p in prefixes)
+    ]
+    if leaked:
+        return f"{len(leaked)} leaked object(s) survived the sweep: {leaked[:3]}"
+    return None
+
+
+def cache_capacity(world) -> Optional[str]:
+    """Every up node's file cache respects its byte capacity."""
+    for node in world.cluster.up_nodes():
+        problem = node.cache.capacity_violation()
+        if problem:
+            return f"node {node.name}: {problem}"
+    return None
+
+
+def clock_monotone(world) -> Optional[str]:
+    """Simulated time never runs backwards."""
+    clock = world.clock
+    if clock.now < world.clock_floor:
+        return f"clock went backwards: {clock.now} < {world.clock_floor}"
+    if clock.now != clock.max_now:
+        return f"clock rewound below its watermark: {clock.now} < {clock.max_now}"
+    return None
+
+
+def catalog_versions_in_step(world) -> Optional[str]:
+    """Every up node's catalog sits at the coordinator's commit version
+    (commits are applied synchronously to all up nodes, section 3.2)."""
+    cluster = world.cluster
+    if cluster.shut_down:
+        return None
+    behind = [
+        (node.name, node.catalog.state.version)
+        for node in cluster.up_nodes()
+        if node.catalog.state.version != cluster.version
+    ]
+    if behind:
+        return f"nodes out of step with version {cluster.version}: {behind}"
+    return None
+
+
+Invariant = Callable[[object], Optional[str]]
+
+DEFAULT_INVARIANTS: Tuple[Tuple[str, Invariant], ...] = (
+    ("shard-coverage", shard_coverage),
+    ("catalog-storage", catalog_storage_consistency),
+    ("no-leaked-objects", no_leaked_objects),
+    ("cache-capacity", cache_capacity),
+    ("clock-monotone", clock_monotone),
+    ("catalog-version-sync", catalog_versions_in_step),
+)
+
+
+class InvariantRegistry:
+    """Runs the invariant suite after every step and keeps counters.
+
+    ``halt=True`` (campaign mode) raises on the first violation;
+    ``halt=False`` (bench/robustness mode) records violations and keeps
+    going, so a run yields a full per-invariant trajectory.
+    """
+
+    def __init__(
+        self,
+        invariants: Optional[List[Tuple[str, Invariant]]] = None,
+        halt: bool = True,
+    ):
+        self.invariants = list(invariants or DEFAULT_INVARIANTS)
+        self.halt = halt
+        self.counters: Dict[str, Dict[str, int]] = {
+            name: {"checks": 0, "violations": 0} for name, _ in self.invariants
+        }
+        self.violations: List[InvariantViolation] = []
+
+    def register(self, name: str, invariant: Invariant) -> None:
+        self.invariants.append((name, invariant))
+        self.counters[name] = {"checks": 0, "violations": 0}
+
+    def note_external(self, violation: InvariantViolation) -> None:
+        """Count a violation raised inside an action (e.g. an oracle
+        mismatch detected mid-query) so the trajectory includes it."""
+        slot = self.counters.setdefault(
+            violation.invariant, {"checks": 0, "violations": 0}
+        )
+        slot["violations"] += 1
+        self.violations.append(violation)
+
+    def check_all(self, world, seed: int, step: int) -> None:
+        for name, invariant in self.invariants:
+            self.counters[name]["checks"] += 1
+            detail = invariant(world)
+            if detail is None:
+                continue
+            violation = InvariantViolation(name, seed, step, detail)
+            self.counters[name]["violations"] += 1
+            self.violations.append(violation)
+            if self.halt:
+                raise violation

@@ -1,0 +1,48 @@
+"""The single-node oracle: a reference execution of the campaign's SQL.
+
+Every DDL/COPY/DML the scenario applies to the simulated Eon cluster is
+also applied to a one-node, one-shard cluster on fault-free storage.  A
+query's result on the chaos cluster must equal the oracle's result for the
+same SQL — node kills, S3 storms, rebalances, and revives may change
+*where* data is read from, never *what* the answer is.
+
+Results are compared as sorted row lists; the workload schema is all-int /
+varchar on purpose so aggregate results are exact regardless of how rows
+were partitioned across shards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cluster.eon import EonCluster
+from repro.common.clock import SimClock
+from repro.shared_storage.s3 import SimulatedS3
+
+
+def rows_key(result) -> List[Tuple]:
+    """Canonical, order-insensitive form of a query result."""
+    return sorted(tuple(row) for row in result.rows.to_pylist())
+
+
+class SimOracle:
+    """One-node reference cluster mirroring the campaign's writes."""
+
+    def __init__(self, seed: int):
+        self.cluster = EonCluster(
+            ["oracle"],
+            shard_count=1,
+            subscribers_per_shard=1,
+            shared_storage=SimulatedS3(),  # reliable: no faults injected
+            seed=seed,
+            clock=SimClock(),
+        )
+
+    def execute(self, sql: str):
+        return self.cluster.execute(sql)
+
+    def load(self, table: str, rows):
+        return self.cluster.load(table, rows)
+
+    def query_rows(self, sql: str) -> List[Tuple]:
+        return rows_key(self.cluster.query(sql))

@@ -1,0 +1,65 @@
+"""Event traces and trace digests for simulation campaigns.
+
+Every step of a campaign appends one :class:`TraceEvent`; the digest is a
+SHA-256 over the canonical rendering of the whole trace plus a small
+cluster fingerprint per step (catalog version, up-node set, shared-object
+count).  Two campaigns are "identical" exactly when their digests match —
+this is the bit-reproducibility contract the harness tests enforce.
+
+Canonical rendering rules: only deterministic, order-stable data may enter
+a trace line (no raw ``set`` reprs, no object ids, no wall-clock times).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed step: what ran, with which parameters, and how it ended."""
+
+    step: int
+    action: str
+    detail: str
+    outcome: str
+    #: Deterministic cluster fingerprint after the step.
+    fingerprint: str = ""
+
+    def line(self) -> str:
+        return f"{self.step}|{self.action}|{self.detail}|{self.outcome}|{self.fingerprint}"
+
+
+class Trace:
+    """Ordered record of a campaign's executed steps."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(
+        self,
+        step: int,
+        action: str,
+        detail: str,
+        outcome: str,
+        fingerprint: str = "",
+    ) -> TraceEvent:
+        event = TraceEvent(step, action, detail, outcome, fingerprint)
+        self.events.append(event)
+        return event
+
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        for event in self.events:
+            h.update(event.line().encode("utf-8"))
+            h.update(b"\n")
+        return h.hexdigest()
+
+    def tail(self, n: int = 10) -> str:
+        """Human-readable last ``n`` events (failure reports)."""
+        return "\n".join(e.line() for e in self.events[-n:])
+
+    def __len__(self) -> int:
+        return len(self.events)

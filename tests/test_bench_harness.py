@@ -130,3 +130,19 @@ class TestReporting:
     def test_format_series(self):
         text = format_series("S", "x", [1, 2], {"s1": [10.0, 20.0], "s2": [1.0, 2.0]})
         assert "s1" in text and "20.00" in text
+
+    def test_write_bench_json_with_invariant_counters(self, tmp_path):
+        import json
+
+        from repro.bench.reporting import write_bench_json
+
+        path = write_bench_json(
+            "unit",
+            {"metric": 1.5},
+            invariant_counters={"shard-coverage": {"checks": 40, "violations": 0}},
+            directory=str(tmp_path),
+        )
+        doc = json.loads(open(path).read())
+        assert doc["metric"] == 1.5
+        assert doc["invariant_counters"]["shard-coverage"]["checks"] == 40
+        assert path.endswith("BENCH_unit.json")

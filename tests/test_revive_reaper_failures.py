@@ -1,0 +1,109 @@
+"""Failure paths of revive and the file reaper that the happy-path suites
+never hit: missing checkpoint objects on shared storage, nodes with no
+uploaded metadata at all, and the reaper racing an in-flight upload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EonCluster, SimClock
+from repro.catalog.transaction_log import CHECKPOINT_PREFIX
+from repro.cluster.revive import revive
+from repro.errors import ReviveError
+
+
+def shutdown_cluster(clock=None):
+    clock = clock or SimClock()
+    cluster = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=3, clock=clock)
+    cluster.execute("create table t (a int, b varchar)")
+    cluster.load("t", [(i, f"g{i % 4}") for i in range(200)])
+    cluster.graceful_shutdown()
+    return cluster, clock
+
+
+def meta_prefix(cluster, node_name):
+    return f"meta_{cluster.incarnation}_{node_name}_"
+
+
+class TestReviveFailurePaths:
+    def test_missing_checkpoint_object_is_fatal(self):
+        cluster, clock = shutdown_cluster()
+        # Simulate a lost/corrupted-and-quarantined checkpoint upload for
+        # one node: logs remain, but replay has nothing to start from.
+        prefix = meta_prefix(cluster, "n2")
+        doomed = [
+            name
+            for name in cluster.shared.list(prefix)
+            if name[len(prefix):].startswith(CHECKPOINT_PREFIX)
+        ]
+        assert doomed, "expected uploaded checkpoint objects"
+        for name in doomed:
+            cluster.shared.delete(name)
+        with pytest.raises(ReviveError, match="no checkpoint"):
+            revive(cluster.shared, clock=clock)
+
+    def test_node_with_no_uploaded_metadata_is_fatal(self):
+        cluster, clock = shutdown_cluster()
+        prefix = meta_prefix(cluster, "n3")
+        names = cluster.shared.list(prefix)
+        assert names, "expected uploaded metadata"
+        for name in names:
+            cluster.shared.delete(name)
+        with pytest.raises(ReviveError, match="no uploaded metadata"):
+            revive(cluster.shared, clock=clock)
+
+    def test_intact_metadata_still_revives(self):
+        # Control arm for the two tests above.
+        cluster, clock = shutdown_cluster()
+        revived = revive(cluster.shared, clock=clock)
+        assert revived.query(
+            "select count(*) from t"
+        ).rows.to_pylist() == [(200,)]
+
+
+class TestReaperUploadRace:
+    def test_inflight_upload_survives_until_writer_restarts(self):
+        """An unreferenced object carrying a live node's instance prefix may
+        be an upload whose commit has not happened yet — the sweep must
+        skip it.  Once that node restarts (new instance id), the old prefix
+        is no longer live and the object is garbage."""
+        cluster = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=7)
+        cluster.execute("create table t (a int)")
+        cluster.load("t", [(i,) for i in range(100)])
+
+        writer = cluster.nodes["n1"]
+        inflight = str(writer.sid_factory.next_sid())
+        cluster.shared_data.write(inflight, b"mid-upload, not yet committed")
+
+        # Live writer: the sweep must leave the object alone.
+        cluster.reaper.cleanup_leaked_files()
+        assert cluster.shared_data.contains(inflight)
+
+        # The writer crashes and comes back under a fresh instance id; its
+        # half-finished upload is now provably orphaned.
+        cluster.kill_node("n1")
+        cluster.recover_node("n1")
+        prefixes = cluster.running_instance_prefixes()
+        assert not any(inflight.startswith(p) for p in prefixes)
+        removed = cluster.reaper.cleanup_leaked_files()
+        assert removed >= 1
+        assert not cluster.shared_data.contains(inflight)
+
+    def test_restart_changes_instance_prefix(self):
+        cluster = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=5)
+        before = cluster.nodes["n1"].sid_factory.instance_id
+        cluster.kill_node("n1")
+        cluster.recover_node("n1")
+        after = cluster.nodes["n1"].sid_factory.instance_id
+        assert before != after
+
+    def test_sweep_still_removes_true_orphans_alongside_inflight(self):
+        cluster = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=9)
+        cluster.execute("create table t (a int)")
+        cluster.load("t", [(i,) for i in range(50)])
+        inflight = str(cluster.nodes["n2"].sid_factory.next_sid())
+        cluster.shared_data.write(inflight, b"live prefix")
+        cluster.shared_data.write("ff" * 24, b"dead prefix")
+        cluster.reaper.cleanup_leaked_files()
+        assert cluster.shared_data.contains(inflight)
+        assert not cluster.shared_data.contains("ff" * 24)
