@@ -1,10 +1,23 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test sim-smoke sim-campaign bench
+.PHONY: default test lint sim-smoke sim-campaign bench obs-demo
+
+# Default flow: lint, then the tier-1 suite.
+default: lint test
 
 # Tier-1: the full test suite (includes the marked `sim` campaigns).
 test:
 	$(PY) -m pytest -x -q
+
+# Lint with ruff when available; fall back to a syntax sweep (compileall)
+# so `make lint` is meaningful in offline environments without ruff.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; falling back to python -m compileall"; \
+		$(PY) -m compileall -q src tests benchmarks examples; \
+	fi
 
 # Quick simulation confidence check: the seeded multi-seed campaigns only.
 sim-smoke:
@@ -16,3 +29,8 @@ sim-campaign:
 
 bench:
 	$(PY) -m pytest benchmarks -q
+
+# Observability walkthrough: trace a TPC-H query, print the span tree,
+# the operator profile, and sample v_monitor system-table queries.
+obs-demo:
+	$(PY) examples/obs_demo.py

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.reporting import format_table
+from repro.bench.reporting import format_table, write_bench_json
+from repro.obs.metrics import cluster_metrics
 from repro.workloads.tpch import TPCH_QUERIES
 
 from conftest import emit
@@ -46,6 +47,18 @@ def test_fig10_tpch_three_ways(benchmark, eon_tpch, enterprise_tpch):
         rows,
     ))
     emit(f"Eon-in-cache matches/beats Enterprise on {rows_box['wins']}/20 queries")
+    write_bench_json(
+        "fig10_tpch",
+        {
+            "figure": "fig10",
+            "queries": {
+                name: {"enterprise_ms": e, "eon_warm_ms": w, "eon_cold_ms": c}
+                for name, e, w, c in rows
+            },
+            "eon_wins": rows_box["wins"],
+        },
+        metrics=cluster_metrics(eon_tpch),
+    )
     # Acceptance: the paper's shape.
     assert rows_box["wins"] >= 16, "Eon in-cache should win on most queries"
     for name, ent_ms, warm_ms, cold_ms in rows:

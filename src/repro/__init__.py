@@ -21,6 +21,7 @@ from repro.cluster.node import Node
 from repro.catalog.objects import Segmentation
 from repro.common.clock import SimClock
 from repro.common.types import ColumnType, TableSchema
+from repro.obs import Observability
 from repro.shared_storage.s3 import S3CostModel, S3LatencyModel, SimulatedS3
 from repro.storage.container import RowSet
 
@@ -30,6 +31,7 @@ __all__ = [
     "EonCluster",
     "EnterpriseCluster",
     "Node",
+    "Observability",
     "Segmentation",
     "SimClock",
     "ColumnType",

@@ -50,6 +50,7 @@ def write_bench_json(
     name: str,
     payload: Dict[str, object],
     invariant_counters: Optional[Dict[str, Dict[str, int]]] = None,
+    metrics: Optional[Dict[str, object]] = None,
     directory: str = ".",
 ) -> str:
     """Write ``BENCH_<name>.json`` and return its path.
@@ -58,12 +59,18 @@ def write_bench_json(
     ``{invariant: {"checks": n, "violations": n}}`` map; recording it next
     to the perf numbers gives every benchmark run a robustness trajectory
     (did this PR trade correctness margin for speed?).
+
+    ``metrics`` is the :func:`repro.obs.metrics.cluster_metrics` summary
+    (depot hit rates, per-class S3 requests and dollars) so cost and cache
+    efficiency ride along with latency numbers.
     """
     doc = dict(payload)
     if invariant_counters is not None:
         doc["invariant_counters"] = {
             key: dict(value) for key, value in sorted(invariant_counters.items())
         }
+    if metrics is not None:
+        doc["metrics"] = metrics
     path = os.path.join(directory, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)

@@ -64,11 +64,25 @@ class CacheStats:
     insertions: int = 0
     evictions: int = 0
     rejected_by_policy: int = 0
+    #: Byte-level accounting: event counts alone cannot answer the paper's
+    #: depot-sizing question ("what fraction of *bytes* came from the
+    #: depot?"), so track bytes served on hits, bytes inserted, bytes
+    #: reclaimed by LRU eviction, and bytes fetched from shared storage
+    #: after a miss (reported by the caller, which knows the fetch size).
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bytes_evicted: int = 0
+    bytes_missed: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def byte_hit_rate(self) -> float:
+        total = self.bytes_read + self.bytes_missed
+        return self.bytes_read / total if total else 0.0
 
 
 class FileCache:
@@ -126,6 +140,7 @@ class FileCache:
         if self.policy.pins(info):
             self._pinned.add(name)
         self.stats.insertions += 1
+        self.stats.bytes_written += len(data)
         return True
 
     def get(self, name: str, use_cache: bool = True) -> Optional[bytes]:
@@ -145,6 +160,7 @@ class FileCache:
             return None
         self._index.touch(name)
         self.stats.hits += 1
+        self.stats.bytes_read += len(data)
         return data
 
     def contains(self, name: str) -> bool:
@@ -175,6 +191,12 @@ class FileCache:
     def info_of(self, name: str) -> ObjectInfo:
         return self._info.get(name, ObjectInfo())
 
+    def note_miss_bytes(self, nbytes: int) -> None:
+        """Record how large a miss turned out to be.  ``get`` cannot know
+        (the data lives on shared storage); the caller reports it after
+        the shared fetch so :attr:`CacheStats.byte_hit_rate` is computable."""
+        self.stats.bytes_missed += nbytes
+
     # -- internals -------------------------------------------------------------------
 
     def _key(self, name: str) -> str:
@@ -191,7 +213,7 @@ class FileCache:
         target = self.capacity_bytes - incoming
         if self._index.total_bytes <= target:
             return
-        for name, _size in self._index.least_recent():
+        for name, size in self._index.least_recent():
             if self._index.total_bytes <= target:
                 break
             if name in self._pinned:
@@ -199,6 +221,7 @@ class FileCache:
             self._fs.delete(self._key(name))
             self._forget(name)
             self.stats.evictions += 1
+            self.stats.bytes_evicted += size
 
     # -- introspection ------------------------------------------------------------------
 

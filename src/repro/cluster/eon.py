@@ -62,6 +62,8 @@ from repro.errors import (
     QuorumLost,
     ShardCoverageLost,
 )
+from repro.obs import Observability, QueryProfile, RequestRecord
+from repro.obs.system_tables import bind_system_tables, system_tables_referenced
 from repro.sharding.assignment import select_participating_subscriptions
 from repro.sharding.shard import REPLICA_SHARD_ID, ShardMap
 from repro.sharding.subscription import SubscriptionState, validate_transition
@@ -70,6 +72,14 @@ from repro.shared_storage.s3 import SimulatedS3
 from repro.sql.binder import bind_select
 from repro.sql.parser import parse
 from repro.storage.container import RowSet
+
+
+def _describe_select(statement) -> str:
+    """Fallback request text when the raw SQL is unavailable (the AST does
+    not retain source text — e.g. queries issued via ``query_statement``)."""
+    names = [t.name for t in statement.tables]
+    names += [j.table.name for j in statement.joins]
+    return "SELECT FROM " + ", ".join(names) if names else "SELECT"
 
 
 class EonCluster:
@@ -87,6 +97,7 @@ class EonCluster:
         clock: Optional[SimClock] = None,
         cost_model: Optional[CostModel] = None,
         racks: Optional[Dict[str, str]] = None,
+        observability: Optional[Observability] = None,
         _bootstrap: bool = True,
     ):
         if not node_names:
@@ -94,6 +105,9 @@ class EonCluster:
         self.rng = random.Random(seed)
         self.clock = clock or SimClock()
         self.cost_model = cost_model or CostModel()
+        #: Observability is off by default — instrumented paths then cost a
+        #: single attribute check (the no-op registry/tracer).
+        self.obs = observability or Observability(clock=self.clock, enabled=False)
         self.shard_map = ShardMap(shard_count)
         self.shared = shared_storage or SimulatedS3()
         self.shared_data = PrefixView(self.shared, "data_")
@@ -123,6 +137,19 @@ class EonCluster:
         self._source_incarnation: Optional[str] = None
         if _bootstrap:
             self._bootstrap()
+
+    def enable_observability(
+        self, max_requests: int = 512, max_spans: int = 20000
+    ) -> Observability:
+        """Switch on metrics, tracing, and query profiling (idempotent)."""
+        if not self.obs.enabled:
+            self.obs = Observability(
+                clock=self.clock,
+                enabled=True,
+                max_requests=max_requests,
+                max_spans=max_spans,
+            )
+        return self.obs
 
     # -- bootstrap -----------------------------------------------------------------
 
@@ -659,9 +686,17 @@ class EonCluster:
         statements = parse(sql)
         if len(statements) != 1 or not isinstance(statements[0], Select):
             raise CatalogError("query() accepts a single SELECT")
-        return self.query_statement(statements[0], **session_options)
+        return self.query_statement(
+            statements[0], request_text=sql.strip(), **session_options
+        )
 
-    def query_statement(self, statement, session: Optional[EonSession] = None, **session_options) -> QueryResult:
+    def query_statement(
+        self,
+        statement,
+        session: Optional[EonSession] = None,
+        request_text: Optional[str] = None,
+        **session_options,
+    ) -> QueryResult:
         if session is None and session_options.get("crunch") == "auto":
             session_options["crunch"] = self._choose_crunch_mode(
                 statement, **{k: v for k, v in session_options.items() if k != "crunch"}
@@ -671,14 +706,86 @@ class EonCluster:
             session = self.create_session(**session_options)
         try:
             snapshot = session.snapshots[session.initiator]
-            bound = bind_select(statement, snapshot.state)
-            plan = plan_query(bound, snapshot.state)
-            provider = EonStorageProvider(session)
-            executor = Executor(provider, self.cost_model)
-            return executor.execute(plan)
+            state = snapshot.state
+            provider: object = EonStorageProvider(session)
+            # ``v_monitor.*`` references get virtual tables injected into a
+            # copy of the snapshot state; binding/planning then proceed as
+            # for any other table.
+            system_names = system_tables_referenced(statement)
+            if system_names:
+                state, provider = bind_system_tables(
+                    self, state, provider, system_names
+                )
+            bound = bind_select(statement, state)
+            plan = plan_query(bound, state)
+            # Monitor queries are not themselves recorded: profiling the
+            # profiler would recurse (this query would appear in the very
+            # tables it reads, mid-materialization).
+            record = self.obs.enabled and not system_names
+            executor = Executor(
+                provider, self.cost_model, obs=self.obs if record else None
+            )
+            if not record:
+                return executor.execute(plan)
+            return self._record_query(statement, session, executor, plan, request_text)
         finally:
             if own_session:
                 session.release()
+
+    def _record_query(
+        self, statement, session, executor, plan, request_text: Optional[str]
+    ) -> QueryResult:
+        """Execute under a ``query`` span and log request/profile records."""
+        obs = self.obs
+        shared_metrics = self.shared.metrics
+        gets_before = shared_metrics.get_requests
+        dollars_before = shared_metrics.dollars
+        hits_before = sum(n.cache.stats.hits for n in self.nodes.values())
+        misses_before = sum(n.cache.stats.misses for n in self.nodes.values())
+        request_id = obs.next_request_id()
+        text = request_text or _describe_select(statement)
+        start = self.clock.now
+        with obs.tracer.span(
+            "query", request_id=request_id, initiator=session.initiator
+        ) as span:
+            result = executor.execute(plan)
+            # Queries don't advance the sim clock; the cost model's latency
+            # is the query's duration.
+            span.duration = result.stats.latency_seconds
+            span.annotate(rows=result.rows.num_rows)
+        latency = result.stats.latency_seconds
+        obs.requests.append(
+            RequestRecord(
+                request_id=request_id,
+                node_name=session.initiator,
+                request=text,
+                start_seconds=start,
+                duration_seconds=latency,
+                rows_produced=result.rows.num_rows,
+                depot_hits=sum(n.cache.stats.hits for n in self.nodes.values())
+                - hits_before,
+                depot_misses=sum(n.cache.stats.misses for n in self.nodes.values())
+                - misses_before,
+                s3_requests=shared_metrics.get_requests - gets_before,
+                s3_dollars=shared_metrics.dollars - dollars_before,
+            )
+        )
+        obs.profiles.append(
+            QueryProfile(
+                request_id=request_id,
+                request=text,
+                initiator=session.initiator,
+                start_seconds=start,
+                latency_seconds=latency,
+                operators=tuple(executor.op_profiles),
+            )
+        )
+        obs.metrics.counter("query.count", node=session.initiator).inc()
+        obs.metrics.counter("query.rows_produced", node=session.initiator).inc(
+            result.rows.num_rows
+        )
+        obs.metrics.histogram("query.latency_seconds").observe(latency)
+        return result
 
     def _choose_crunch_mode(self, statement, **session_options) -> str:
         """Cost-based crunch mode choice (section 4.4: "a likely candidate
@@ -817,9 +924,23 @@ class EonCluster:
             p for p in peers if self.nodes[p].subcluster == node.subcluster
         ]
         peer = self.nodes[(same_subcluster or peers)[0]]
-        return warm_from_peer(
+        report = warm_from_peer(
             node.cache, peer.cache, self.shared_data, shard_id=shard_id
         )
+        if self.obs.enabled and report is not None:
+            self.obs.tracer.record(
+                "depot_warming",
+                node=node.name,
+                peer=peer.name,
+                shard=shard_id,
+                copied_from_peer=report.copied_from_peer,
+                fetched_from_shared=report.fetched_from_shared,
+                bytes_transferred=report.bytes_transferred,
+            )
+            self.obs.metrics.counter("depot.warming_bytes", node=node.name).inc(
+                report.bytes_transferred
+            )
+        return report
 
     def unsubscribe(self, node_name: str, shard_id: int) -> None:
         """The unsubscription process of section 3.3: REMOVING, wait for

@@ -111,6 +111,7 @@ class Node:
             return data, True, self.local_fs.estimate_read_seconds(len(data))
         data = retrying(lambda: shared.read(name), shared.metrics)
         self.shared_reads += 1
+        self.cache.note_miss_bytes(len(data))
         io_seconds = shared.estimate_read_seconds(len(data))
         if use_cache:
             self.cache.put(name, data, info=info)

@@ -94,6 +94,18 @@ class FileReaper:
             stats.deleted += 1
         self._pending = remaining
         self.stats.deleted += stats.deleted
+        obs = getattr(cluster, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.tracer.record(
+                "reaper_sweep",
+                deleted=stats.deleted,
+                retained_for_queries=stats.retained_for_queries,
+                retained_for_durability=stats.retained_for_durability,
+                pending=len(remaining),
+            )
+            obs.metrics.counter("reaper.sweeps").inc()
+            obs.metrics.counter("reaper.files_deleted").inc(stats.deleted)
+            obs.metrics.gauge("reaper.pending_files").set(len(remaining))
         return stats
 
     def cleanup_leaked_files(self) -> int:

@@ -51,6 +51,7 @@ def revive(
     seed: int = 1,
     cache_bytes: int = 256 << 20,
     read_only: bool = False,
+    observability=None,
 ) -> EonCluster:
     """Start a cluster from shared storage; returns the revived cluster.
 
@@ -62,6 +63,7 @@ def revive(
     new commits with :meth:`EonCluster.refresh_from_shared`.
     """
     clock = clock or SimClock()
+    metrics_before = shared_storage.metrics.sim_seconds
     info = read_latest_cluster_info(shared_storage)
     if info is None:
         raise ReviveError("no cluster_info.json found on shared storage")
@@ -82,6 +84,7 @@ def revive(
         cache_bytes=cache_bytes,
         seed=seed,
         clock=clock,
+        observability=observability,
         _bootstrap=False,
     )
     cluster.coordinator = CommitCoordinator(cluster, base_version=truncation)
@@ -130,6 +133,17 @@ def revive(
             f"expected {truncation}"
         )
     cluster.check_viability()
+
+    if cluster.obs.enabled:
+        cluster.obs.tracer.record(
+            "revive",
+            duration=shared_storage.metrics.sim_seconds - metrics_before,
+            incarnation_from=old_incarnation,
+            truncation_version=truncation,
+            nodes=len(node_names),
+            read_only=read_only,
+        )
+        cluster.obs.metrics.counter("revive.count").inc()
 
     if read_only:
         # A sharing cluster never writes to the primary's metadata or

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.common.clock import Timeout
 from repro.errors import ReproError
+from repro.obs.tracing import NULL_TRACER
 from repro.tuple_mover import MergeoutCoordinatorService
 
 
@@ -59,30 +60,40 @@ class ServiceScheduler:
         self.run_reaper()
         return self.stats
 
+    def _tracer(self):
+        obs = getattr(self.cluster, "obs", None)
+        return obs.tracer if obs is not None else NULL_TRACER
+
     def run_catalog_sync(self) -> None:
         try:
-            self.cluster.sync_catalogs(include_checkpoint=True)
+            with self._tracer().span("service.catalog_sync"):
+                self.cluster.sync_catalogs(include_checkpoint=True)
             self.stats.sync_runs += 1
         except ReproError:
             self.stats.errors += 1
 
     def run_cluster_info(self) -> None:
         try:
-            self.cluster.write_cluster_info()
+            with self._tracer().span("service.cluster_info"):
+                self.cluster.write_cluster_info()
             self.stats.cluster_info_writes += 1
         except ReproError:
             self.stats.errors += 1
 
     def run_mergeout(self) -> None:
         try:
-            report = self.mergeout_service.run_all(max_jobs_per_shard=4)
+            with self._tracer().span("service.mergeout") as span:
+                report = self.mergeout_service.run_all(max_jobs_per_shard=4)
+                span.annotate(jobs=report.jobs_run)
             self.stats.mergeout_jobs += report.jobs_run
         except ReproError:
             self.stats.errors += 1
 
     def run_reaper(self) -> None:
         try:
-            reaped = self.cluster.reaper.poll()
+            with self._tracer().span("service.reaper") as span:
+                reaped = self.cluster.reaper.poll()
+                span.annotate(deleted=reaped.deleted)
             self.stats.files_reaped += reaped.deleted
         except ReproError:
             self.stats.errors += 1

@@ -93,6 +93,9 @@ class EonStorageProvider(StorageProvider):
     def __init__(self, session: EonSession):
         self.session = session
         self.cluster = session.cluster
+        cost = getattr(self.cluster.shared, "cost", None)
+        #: Dollars per GET on the shared backend (0 for cost-free backends).
+        self._get_dollars = cost.get_cost() if cost is not None else 0.0
 
     def participants(self) -> List[str]:
         return self.session.participants()
@@ -179,6 +182,38 @@ class EonStorageProvider(StorageProvider):
             return tuple(lap.segmentation.columns)
         raise ExecutionError(f"unknown projection {projection_name!r}")
 
+    def _fetch_through_depot(self, node, location: str, info, result: ScanResult) -> bytes:
+        """One file fetch: depot hit/miss and S3 accounting, plus an
+        ``s3_get`` span (duration = that request's IO seconds) when the
+        cluster's observability is enabled."""
+        obs = self.cluster.obs
+        evictions_before = node.cache.stats.evictions if obs.enabled else 0
+        data, from_cache, io_seconds = node.fetch_storage(
+            location,
+            self.cluster.shared_data,
+            info=info,
+            use_cache=self.session.use_cache,
+        )
+        result.io_seconds += io_seconds
+        if from_cache:
+            result.bytes_from_cache += len(data)
+            result.depot_hits += 1
+        else:
+            result.bytes_from_shared += len(data)
+            result.depot_misses += 1
+            result.s3_requests += 1
+            result.s3_dollars += self._get_dollars
+            if obs.enabled:
+                obs.tracer.record(
+                    "s3_get",
+                    duration=io_seconds,
+                    node=node.name,
+                    object=location,
+                    nbytes=len(data),
+                    evictions=node.cache.stats.evictions - evictions_before,
+                )
+        return data
+
     def _read_container(
         self,
         node,
@@ -201,17 +236,7 @@ class EonStorageProvider(StorageProvider):
             partition_key=container.partition_key,
             shard_id=container.shard_id,
         )
-        data, from_cache, io_seconds = node.fetch_storage(
-            container.location,
-            self.cluster.shared_data,
-            info=info,
-            use_cache=self.session.use_cache,
-        )
-        result.io_seconds += io_seconds
-        if from_cache:
-            result.bytes_from_cache += len(data)
-        else:
-            result.bytes_from_shared += len(data)
+        data = self._fetch_through_depot(node, container.location, info, result)
         reader = read_container(data)
         dvs = state.delete_vectors_for(str(container.sid))
 
@@ -231,17 +256,7 @@ class EonStorageProvider(StorageProvider):
         if dvs:
             position_sets = []
             for dv in dvs:
-                dv_data, dv_cached, dv_io = node.fetch_storage(
-                    dv.location,
-                    self.cluster.shared_data,
-                    info=info,
-                    use_cache=self.session.use_cache,
-                )
-                result.io_seconds += dv_io
-                if dv_cached:
-                    result.bytes_from_cache += len(dv_data)
-                else:
-                    result.bytes_from_shared += len(dv_data)
+                dv_data = self._fetch_through_depot(node, dv.location, info, result)
                 position_sets.append(read_delete_vector(dv_data))
             mask = mask_from_positions(
                 combine_positions(position_sets), container.row_count

@@ -53,6 +53,12 @@ class ScanResult:
     containers_scanned: int = 0
     containers_pruned: int = 0
     blocks_pruned: int = 0
+    # Depot/S3 accounting (per-file events; providers without a depot
+    # leave these at zero).
+    depot_hits: int = 0
+    depot_misses: int = 0
+    s3_requests: int = 0
+    s3_dollars: float = 0.0
 
 
 class StorageProvider(abc.ABC):
@@ -104,11 +110,20 @@ def rowset_bytes(rows: RowSet) -> int:
 
 
 class Executor:
-    def __init__(self, provider: StorageProvider, cost_model: Optional[CostModel] = None):
+    def __init__(
+        self,
+        provider: StorageProvider,
+        cost_model: Optional[CostModel] = None,
+        obs=None,
+    ):
         self.provider = provider
         self.cost = cost_model or CostModel()
         self.stats = QueryStats()
         self._broadcast_cache: Dict[int, RowSet] = {}
+        # Observability is opt-in; ``None`` keeps every hot path at a
+        # single attribute check (the zero-overhead-when-disabled contract).
+        self._obs = obs if (obs is not None and obs.enabled) else None
+        self.op_profiles: List = []
 
     # -- public ------------------------------------------------------------------
 
@@ -116,6 +131,7 @@ class Executor:
         self.stats = QueryStats()
         self.stats.dispatch_seconds = self.cost.dispatch_seconds
         self._broadcast_cache = {}
+        self.op_profiles = []
         if plan.single_node:
             self._participants = [self.provider.initiator()]
         else:
@@ -135,14 +151,21 @@ class Executor:
         if isinstance(node, FilterNode):
             rows = self._eval_top(node.child)
             self._charge_initiator(rows.num_rows)
-            return rows.filter(node.predicate.evaluate(rows).astype(bool))
+            out = rows.filter(node.predicate.evaluate(rows).astype(bool))
+            self._note_op("Filter", self.provider.initiator(), out.num_rows,
+                          rows.num_rows * self.cost.row_cpu_seconds)
+            return out
         if isinstance(node, ProjectNode):
             rows = self._eval_top(node.child)
             self._charge_initiator(rows.num_rows)
+            self._note_op("Project", self.provider.initiator(), rows.num_rows,
+                          rows.num_rows * self.cost.row_cpu_seconds)
             return _project(rows, node.outputs)
         if isinstance(node, SortNode):
             rows = self._eval_top(node.child)
             self._charge_initiator(rows.num_rows)
+            self._note_op("Sort", self.provider.initiator(), rows.num_rows,
+                          rows.num_rows * self.cost.row_cpu_seconds)
             return sort_limit(rows, node.order)
         if isinstance(node, LimitNode):
             rows = self._eval_top(node.child)
@@ -168,27 +191,39 @@ class Executor:
         specs = list(node.specs)
         if strategy == "one_phase":
             parts = [
-                aggregate(self._eval_fragment(node.child, p), group, specs, "complete")
+                aggregate(self._run_fragment(node.child, p), group, specs, "complete")
                 for p in self._participants
             ]
             for p, part in zip(self._participants, parts):
                 self.stats.node(p).cpu_seconds += part.num_rows * self.cost.row_cpu_seconds
+                self._note_op("Aggregate", p, part.num_rows,
+                              part.num_rows * self.cost.row_cpu_seconds,
+                              detail="one_phase")
             return self._collect(parts)
         if strategy == "two_phase":
             parts = []
             for p in self._participants:
-                fragment = self._eval_fragment(node.child, p)
+                fragment = self._run_fragment(node.child, p)
                 self.stats.node(p).cpu_seconds += (
                     fragment.num_rows * self.cost.row_cpu_seconds
                 )
+                self._note_op("Aggregate", p, fragment.num_rows,
+                              fragment.num_rows * self.cost.row_cpu_seconds,
+                              detail="partial")
                 parts.append(aggregate(fragment, group, specs, "partial"))
             merged = self._collect(parts)
             self._charge_initiator(merged.num_rows)
+            self._note_op("Aggregate", self.provider.initiator(), merged.num_rows,
+                          merged.num_rows * self.cost.row_cpu_seconds,
+                          detail="final")
             return aggregate(merged, group, specs, "final")
         # gather_complete
-        fragments = [self._eval_fragment(node.child, p) for p in self._participants]
+        fragments = [self._run_fragment(node.child, p) for p in self._participants]
         gathered = self._collect(fragments)
         self._charge_initiator(gathered.num_rows)
+        self._note_op("Aggregate", self.provider.initiator(), gathered.num_rows,
+                      gathered.num_rows * self.cost.row_cpu_seconds,
+                      detail="gather_complete")
         return aggregate(gathered, group, specs, "complete")
 
     def _effective_strategy(self, node: AggregateNode) -> str:
@@ -205,7 +240,7 @@ class Executor:
         return strategy
 
     def _gather(self, node: PlanNode) -> RowSet:
-        fragments = [self._eval_fragment(node, p) for p in self._participants]
+        fragments = [self._run_fragment(node, p) for p in self._participants]
         return self._collect(fragments)
 
     def _collect(self, parts: List[RowSet]) -> RowSet:
@@ -221,7 +256,51 @@ class Executor:
     def _charge_initiator(self, rows: int) -> None:
         self.stats.initiator_cpu_seconds += rows * self.cost.row_cpu_seconds
 
+    # -- observability hooks -------------------------------------------------------
+
+    def _note_op(self, operator: str, node_name: str, rows: int, seconds: float,
+                 *, bytes_from_cache: int = 0, bytes_from_shared: int = 0,
+                 depot_hits: int = 0, depot_misses: int = 0,
+                 s3_requests: int = 0, s3_dollars: float = 0.0,
+                 detail: str = "") -> None:
+        if self._obs is None:
+            return
+        from repro.obs.profile import OperatorProfile
+
+        self.op_profiles.append(
+            OperatorProfile(
+                path_id=len(self.op_profiles),
+                operator=operator,
+                node=node_name,
+                rows=rows,
+                sim_seconds=seconds,
+                bytes_from_cache=bytes_from_cache,
+                bytes_from_shared=bytes_from_shared,
+                depot_hits=depot_hits,
+                depot_misses=depot_misses,
+                s3_requests=s3_requests,
+                s3_dollars=s3_dollars,
+                detail=detail,
+            )
+        )
+
     # -- fragment (per-participant) evaluation -------------------------------------
+
+    def _run_fragment(self, node: PlanNode, participant: str) -> RowSet:
+        """Top-level fragment invocation: one traced span per participant.
+
+        The span's duration is the participant's busy-seconds delta, the
+        same quantity the cost model folds into query latency — so the
+        trace's fragment durations reconcile with ``QueryStats``.
+        """
+        if self._obs is None:
+            return self._eval_fragment(node, participant)
+        busy_before = self.stats.node(participant).busy_seconds
+        with self._obs.tracer.span("fragment", node=participant) as span:
+            rows = self._eval_fragment(node, participant)
+            span.duration = self.stats.node(participant).busy_seconds - busy_before
+            span.annotate(rows=rows.num_rows)
+        return rows
 
     def _eval_fragment(self, node: PlanNode, participant: str) -> RowSet:
         work = self.stats.node(participant)
@@ -240,22 +319,41 @@ class Executor:
             work.containers_scanned += result.containers_scanned
             work.containers_pruned += result.containers_pruned
             work.blocks_pruned += result.blocks_pruned
-            work.cpu_seconds += (
+            decode_cpu = (
                 result.rows.num_rows * len(node.columns) * self.cost.cell_cpu_seconds
             )
+            work.cpu_seconds += decode_cpu
+            op_seconds = result.io_seconds + decode_cpu
             rows = result.rows
             if node.predicate is not None:
-                work.cpu_seconds += rows.num_rows * self.cost.row_cpu_seconds
+                predicate_cpu = rows.num_rows * self.cost.row_cpu_seconds
+                work.cpu_seconds += predicate_cpu
+                op_seconds += predicate_cpu
                 rows = rows.filter(node.predicate.evaluate(rows).astype(bool))
                 work.rows_processed += rows.num_rows
+            self._note_op(
+                "Scan", participant, rows.num_rows, op_seconds,
+                bytes_from_cache=result.bytes_from_cache,
+                bytes_from_shared=result.bytes_from_shared,
+                depot_hits=result.depot_hits,
+                depot_misses=result.depot_misses,
+                s3_requests=result.s3_requests,
+                s3_dollars=result.s3_dollars,
+                detail=node.projection,
+            )
             return rows
         if isinstance(node, FilterNode):
             rows = self._eval_fragment(node.child, participant)
             work.cpu_seconds += rows.num_rows * self.cost.row_cpu_seconds
-            return rows.filter(node.predicate.evaluate(rows).astype(bool))
+            out = rows.filter(node.predicate.evaluate(rows).astype(bool))
+            self._note_op("Filter", participant, out.num_rows,
+                          rows.num_rows * self.cost.row_cpu_seconds)
+            return out
         if isinstance(node, ProjectNode):
             rows = self._eval_fragment(node.child, participant)
             work.cpu_seconds += rows.num_rows * self.cost.row_cpu_seconds
+            self._note_op("Project", participant, rows.num_rows,
+                          rows.num_rows * self.cost.row_cpu_seconds)
             return _project(rows, node.outputs)
         if isinstance(node, JoinNode):
             return self._eval_join(node, participant)
@@ -279,10 +377,13 @@ class Executor:
         out = hash_join(
             left, right, list(node.left_keys), list(node.right_keys), node.how
         )
-        work.cpu_seconds += (
+        join_cpu = (
             (left.num_rows + right.num_rows + out.num_rows) * self.cost.row_cpu_seconds
         )
+        work.cpu_seconds += join_cpu
         work.rows_processed += out.num_rows
+        self._note_op("Join", participant, out.num_rows, join_cpu,
+                      detail=f"{locality} {node.how}")
         return out
 
     def _broadcast(self, node: PlanNode, participant: str) -> RowSet:

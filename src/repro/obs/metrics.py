@@ -1,0 +1,379 @@
+"""Metrics registry: counters, gauges, and histograms on the sim clock.
+
+Modeled on Vertica's Data Collector counters (and the Prometheus data
+model): an instrument is identified by a name plus a sorted label set, and
+every update stamps ``last_updated`` from the simulated clock — wall-clock
+time means nothing in a discrete-event simulation.
+
+The registry supports the three operations the benchmarks and system
+tables need:
+
+* :meth:`MetricsRegistry.snapshot` — an immutable, JSON-able copy;
+* :meth:`MetricsSnapshot.delta` — what happened between two snapshots
+  (counters/histograms subtract; gauges keep the later value);
+* :meth:`MetricsSnapshot.merge` — combine per-node snapshots into a
+  cluster-wide view (counters/histograms add; gauges add too, because the
+  gauges we export are per-node resource totals like cached bytes).
+
+:data:`NULL_REGISTRY` is the zero-overhead-when-disabled implementation:
+every instrument lookup returns one shared no-op object, so instrumented
+code paths cost an attribute check and a method call that does nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Default histogram bucket upper bounds (seconds-oriented, exponential).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 100.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(name: str, labels: Dict[str, object]) -> Tuple[str, LabelItems]:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, labels: LabelItems) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class _Instrument:
+    __slots__ = ("name", "labels", "last_updated", "_clock")
+
+    def __init__(self, name: str, labels: LabelItems, clock=None):
+        self.name = name
+        self.labels = labels
+        self.last_updated = 0.0
+        self._clock = clock
+
+    def _stamp(self) -> None:
+        if self._clock is not None:
+            self.last_updated = self._clock.now
+
+
+class Counter(_Instrument):
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelItems, clock=None):
+        super().__init__(name, labels, clock)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+        self._stamp()
+
+
+class Gauge(_Instrument):
+    """Point-in-time value (cache bytes, pending files, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelItems, clock=None):
+        super().__init__(name, labels, clock)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self._stamp()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+        self._stamp()
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+        self._stamp()
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram (Prometheus style)."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        clock=None,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, labels, clock)
+        self.bounds = tuple(buckets)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +inf bucket
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        self._stamp()
+
+
+class MetricsSnapshot:
+    """An immutable copy of a registry's state at one sim-clock instant."""
+
+    def __init__(
+        self,
+        at: float,
+        counters: Dict[str, float],
+        gauges: Dict[str, float],
+        histograms: Dict[str, dict],
+    ):
+        self.at = at
+        self.counters = dict(counters)
+        self.gauges = dict(gauges)
+        self.histograms = {k: dict(v) for k, v in histograms.items()}
+
+    def as_dict(self) -> dict:
+        return {
+            "at": self.at,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                k: {
+                    "count": v["count"],
+                    "sum": v["sum"],
+                    "buckets": list(v["buckets"]),
+                }
+                for k, v in sorted(self.histograms.items())
+            },
+        }
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened between ``earlier`` and this snapshot."""
+        counters = {
+            key: value - earlier.counters.get(key, 0.0)
+            for key, value in self.counters.items()
+        }
+        histograms = {}
+        for key, h in self.histograms.items():
+            prev = earlier.histograms.get(
+                key, {"count": 0, "sum": 0.0, "buckets": [0] * len(h["buckets"])}
+            )
+            histograms[key] = {
+                "count": h["count"] - prev["count"],
+                "sum": h["sum"] - prev["sum"],
+                "buckets": [
+                    a - b for a, b in zip(h["buckets"], prev["buckets"])
+                ],
+            }
+        return MetricsSnapshot(self.at, counters, dict(self.gauges), histograms)
+
+    @staticmethod
+    def merge(snapshots: List["MetricsSnapshot"]) -> "MetricsSnapshot":
+        """Combine snapshots (e.g. one per node) into a cluster-wide view."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, dict] = {}
+        at = 0.0
+        for snap in snapshots:
+            at = max(at, snap.at)
+            for key, value in snap.counters.items():
+                counters[key] = counters.get(key, 0.0) + value
+            for key, value in snap.gauges.items():
+                gauges[key] = gauges.get(key, 0.0) + value
+            for key, h in snap.histograms.items():
+                if key not in histograms:
+                    histograms[key] = {
+                        "count": 0,
+                        "sum": 0.0,
+                        "buckets": [0] * len(h["buckets"]),
+                    }
+                agg = histograms[key]
+                agg["count"] += h["count"]
+                agg["sum"] += h["sum"]
+                agg["buckets"] = [
+                    a + b for a, b in zip(agg["buckets"], h["buckets"])
+                ]
+        return MetricsSnapshot(at, counters, gauges, histograms)
+
+
+class MetricsRegistry:
+    """Instrument factory and holder; one per :class:`Observability`."""
+
+    enabled = True
+
+    def __init__(self, clock=None):
+        self._clock = clock
+        self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = _label_key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, key[1], self._clock)
+        return inst
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _label_key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, key[1], self._clock)
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        key = _label_key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(
+                name, key[1], self._clock, buckets
+            )
+        return inst
+
+    def snapshot(self) -> MetricsSnapshot:
+        at = self._clock.now if self._clock is not None else 0.0
+        return MetricsSnapshot(
+            at,
+            {
+                _render_key(*key): inst.value
+                for key, inst in self._counters.items()
+            },
+            {
+                _render_key(*key): inst.value
+                for key, inst in self._gauges.items()
+            },
+            {
+                _render_key(*key): {
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "buckets": list(inst.bucket_counts),
+                }
+                for key, inst in self._histograms.items()
+            },
+        )
+
+    def as_dict(self) -> dict:
+        return self.snapshot().as_dict()
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument: the zero-overhead-disabled path."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    last_updated = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Disabled registry: every lookup returns the shared no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(0.0, {}, {}, {})
+
+    def as_dict(self) -> dict:
+        return self.snapshot().as_dict()
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def cluster_metrics(cluster) -> dict:
+    """Cluster-wide depot and S3 summary, JSON-able.
+
+    Pulls from the live stats structs (:class:`CacheStats` per node, the
+    shared backend's :class:`StorageMetrics` and per-operation-class
+    stats), so it works whether or not the observability subsystem is
+    enabled.  This is what BENCH JSON ``metrics`` sections and the shell's
+    ``\\stats`` report.
+    """
+    depot = {
+        "hits": 0,
+        "misses": 0,
+        "insertions": 0,
+        "evictions": 0,
+        "bytes_read": 0,
+        "bytes_written": 0,
+        "bytes_evicted": 0,
+        "bytes_missed": 0,
+    }
+    for name in sorted(getattr(cluster, "nodes", {})):
+        stats = cluster.nodes[name].cache.stats
+        depot["hits"] += stats.hits
+        depot["misses"] += stats.misses
+        depot["insertions"] += stats.insertions
+        depot["evictions"] += stats.evictions
+        depot["bytes_read"] += stats.bytes_read
+        depot["bytes_written"] += stats.bytes_written
+        depot["bytes_evicted"] += stats.bytes_evicted
+        depot["bytes_missed"] += stats.bytes_missed
+    events = depot["hits"] + depot["misses"]
+    depot["hit_rate"] = depot["hits"] / events if events else 0.0
+    read = depot["bytes_read"] + depot["bytes_missed"]
+    depot["byte_hit_rate"] = depot["bytes_read"] / read if read else 0.0
+
+    s3: Dict[str, object] = {}
+    shared = getattr(cluster, "shared", None)
+    if shared is not None:
+        op_stats = getattr(shared, "op_stats", None)
+        if op_stats:
+            for op in sorted(op_stats):
+                stats = op_stats[op]
+                s3[op] = {
+                    "requests": stats.requests,
+                    "bytes": stats.bytes,
+                    "dollars": stats.dollars,
+                    "sim_seconds": stats.sim_seconds,
+                    "transient_faults": stats.transient_faults,
+                    "throttled": stats.throttled,
+                }
+        m = shared.metrics
+        s3["totals"] = {
+            "requests": m.total_requests,
+            "get_requests": m.get_requests,
+            "put_requests": m.put_requests,
+            "dollars": m.dollars,
+            "retries": m.transient_failures,
+            "retry_backoff_seconds": m.retry_backoff_seconds,
+        }
+    return {"depot": depot, "s3": s3}

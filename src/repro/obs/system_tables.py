@@ -1,0 +1,356 @@
+"""``v_monitor`` virtual system tables, served through the real SQL path.
+
+Vertica exposes its Data Collector through system tables; so do we.  Each
+table is a :class:`SystemTableDef`: a schema plus a producer that reads
+*live* cluster state into deterministic rows.  At query time the cluster
+injects, into a copy of the session's catalog snapshot, a ``Table`` and a
+replicated ``Projection`` per referenced system table, and wraps the
+session's storage provider in :class:`SystemTableProvider`, which serves
+those projections from rows materialized at bind time.  Binding, planning,
+predicate evaluation, joins, and aggregation all run through the ordinary
+binder/planner/executor — a ``SELECT … FROM v_monitor.query_profiles
+WHERE …`` is just a query whose scan happens to read the monitor.
+
+Replicated segmentation means a pure system-table query plans single-node
+(the initiator serves it), while joins against user tables treat the
+virtual table as a replicated build side — both exactly the planner's
+existing rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.objects import Projection, Segmentation, Table
+from repro.common.types import ColumnType, SchemaColumn, TableSchema
+from repro.engine.executor import ScanResult, StorageProvider
+from repro.engine.expressions import Expr
+from repro.errors import CatalogError
+from repro.storage.container import RowSet
+
+SCHEMA_PREFIX = "v_monitor."
+
+_I = ColumnType.INT
+_F = ColumnType.FLOAT
+_S = ColumnType.VARCHAR
+
+
+def _schema(*cols: Tuple[str, ColumnType]) -> TableSchema:
+    return TableSchema([SchemaColumn(name, ctype) for name, ctype in cols])
+
+
+@dataclass(frozen=True)
+class SystemTableDef:
+    name: str  # short name, without the v_monitor. prefix
+    schema: TableSchema
+    producer: Callable[[object], List[tuple]]
+
+    @property
+    def qualified_name(self) -> str:
+        return SCHEMA_PREFIX + self.name
+
+    @property
+    def projection_name(self) -> str:
+        return f"{self.qualified_name}_vproj"
+
+
+# -- producers (rows must be deterministically ordered) --------------------------
+
+
+def _depot_activity(cluster) -> List[tuple]:
+    rows = []
+    for name in sorted(cluster.nodes):
+        node = cluster.nodes[name]
+        stats = node.cache.stats
+        rows.append(
+            (
+                name,
+                stats.hits,
+                stats.misses,
+                stats.insertions,
+                stats.evictions,
+                stats.rejected_by_policy,
+                stats.bytes_read,
+                stats.bytes_written,
+                stats.bytes_evicted,
+                stats.bytes_missed,
+                float(stats.hit_rate),
+                float(stats.byte_hit_rate),
+                node.cache.used_bytes,
+                node.cache.capacity_bytes,
+                node.cache.file_count,
+            )
+        )
+    return rows
+
+
+def _dc_requests_issued(cluster) -> List[tuple]:
+    return [
+        (
+            r.request_id,
+            r.node_name,
+            r.request,
+            r.start_seconds,
+            r.duration_seconds,
+            r.rows_produced,
+            r.depot_hits,
+            r.depot_misses,
+            r.s3_requests,
+            r.s3_dollars,
+        )
+        for r in sorted(cluster.obs.requests, key=lambda r: r.request_id)
+    ]
+
+
+def _query_profiles(cluster) -> List[tuple]:
+    rows = []
+    for profile in sorted(cluster.obs.profiles, key=lambda p: p.request_id):
+        for op in profile.operators:
+            rows.append(
+                (
+                    profile.request_id,
+                    op.node,
+                    op.operator,
+                    op.path_id,
+                    op.rows,
+                    op.sim_seconds,
+                    op.bytes_from_cache,
+                    op.bytes_from_shared,
+                    op.depot_hits,
+                    op.depot_misses,
+                    op.s3_requests,
+                    op.s3_dollars,
+                    op.detail,
+                )
+            )
+    return rows
+
+
+def _storage_containers(cluster) -> List[tuple]:
+    # Catalogs are shard-filtered per node; the union over up nodes is the
+    # cluster-wide container inventory.
+    seen: Dict[str, object] = {}
+    for node in cluster.up_nodes():
+        for sid, container in node.catalog.state.containers.items():
+            seen[str(sid)] = container
+    rows = []
+    for sid in sorted(seen):
+        c = seen[sid]
+        rows.append(
+            (
+                sid,
+                c.projection,
+                c.shard_id,
+                c.row_count,
+                c.size_bytes,
+                "" if c.partition_key is None else str(c.partition_key),
+            )
+        )
+    return rows
+
+
+def _resource_usage(cluster) -> List[tuple]:
+    rows = []
+    for name in sorted(cluster.nodes):
+        node = cluster.nodes[name]
+        shards = sorted(node.catalog.subscribed_shards or ())
+        rows.append(
+            (
+                name,
+                node.state.value,
+                len(shards),
+                node.execution_slots,
+                node.cache.used_bytes,
+                node.cache.capacity_bytes,
+                node.cache_reads,
+                node.shared_reads,
+            )
+        )
+    return rows
+
+
+def _dc_storage_operations(cluster) -> List[tuple]:
+    shared = cluster.shared
+    op_stats = getattr(shared, "op_stats", None)
+    rows = []
+    if op_stats:
+        for op in sorted(op_stats):
+            stats = op_stats[op]
+            rows.append(
+                (
+                    op,
+                    stats.requests,
+                    stats.bytes,
+                    stats.sim_seconds,
+                    stats.dollars,
+                    stats.transient_faults,
+                    stats.throttled,
+                )
+            )
+    else:
+        # Generic backend: per-class detail unavailable, report from the
+        # aggregate StorageMetrics.
+        m = shared.metrics
+        rows = [
+            ("DELETE", m.delete_requests, 0, 0.0, 0.0, 0, 0),
+            ("GET", m.get_requests, m.bytes_read, 0.0, 0.0, 0, 0),
+            ("LIST", m.list_requests, 0, 0.0, 0.0, 0, 0),
+            ("PUT", m.put_requests, m.bytes_written, 0.0, 0.0, 0, 0),
+        ]
+    return rows
+
+
+SYSTEM_TABLES: Dict[str, SystemTableDef] = {
+    d.name: d
+    for d in (
+        SystemTableDef(
+            "depot_activity",
+            _schema(
+                ("node_name", _S), ("hits", _I), ("misses", _I),
+                ("insertions", _I), ("evictions", _I),
+                ("rejected_by_policy", _I), ("bytes_read", _I),
+                ("bytes_written", _I), ("bytes_evicted", _I),
+                ("bytes_missed", _I), ("hit_rate", _F),
+                ("byte_hit_rate", _F), ("used_bytes", _I),
+                ("capacity_bytes", _I), ("file_count", _I),
+            ),
+            _depot_activity,
+        ),
+        SystemTableDef(
+            "dc_requests_issued",
+            _schema(
+                ("request_id", _I), ("node_name", _S), ("request", _S),
+                ("start_seconds", _F), ("duration_seconds", _F),
+                ("rows_produced", _I), ("depot_hits", _I),
+                ("depot_misses", _I), ("s3_requests", _I),
+                ("s3_dollars", _F),
+            ),
+            _dc_requests_issued,
+        ),
+        SystemTableDef(
+            "query_profiles",
+            _schema(
+                ("request_id", _I), ("node_name", _S), ("operator", _S),
+                ("path_id", _I), ("rows_produced", _I),
+                ("sim_seconds", _F), ("bytes_from_cache", _I),
+                ("bytes_from_shared", _I), ("depot_hits", _I),
+                ("depot_misses", _I), ("s3_requests", _I),
+                ("s3_dollars", _F), ("detail", _S),
+            ),
+            _query_profiles,
+        ),
+        SystemTableDef(
+            "storage_containers",
+            _schema(
+                ("sid", _S), ("projection", _S), ("shard_id", _I),
+                ("row_count", _I), ("size_bytes", _I), ("partition_key", _S),
+            ),
+            _storage_containers,
+        ),
+        SystemTableDef(
+            "resource_usage",
+            _schema(
+                ("node_name", _S), ("node_state", _S), ("subscriptions", _I),
+                ("execution_slots", _I), ("cache_used_bytes", _I),
+                ("cache_capacity_bytes", _I), ("cache_reads", _I),
+                ("shared_reads", _I),
+            ),
+            _resource_usage,
+        ),
+        SystemTableDef(
+            "dc_storage_operations",
+            _schema(
+                ("operation", _S), ("requests", _I), ("bytes", _I),
+                ("sim_seconds", _F), ("dollars", _F),
+                ("transient_faults", _I), ("throttled", _I),
+            ),
+            _dc_storage_operations,
+        ),
+    )
+}
+
+
+def system_tables_referenced(statement) -> List[str]:
+    """Qualified ``v_monitor.*`` names a SELECT references (FROM + JOINs).
+
+    Raises :class:`CatalogError` for an unknown ``v_monitor`` table so the
+    user gets the available names instead of a generic bind failure.
+    """
+    refs = [t.name for t in statement.tables]
+    refs += [j.table.name for j in statement.joins]
+    names: List[str] = []
+    for name in refs:
+        if not name.startswith(SCHEMA_PREFIX):
+            continue
+        short = name[len(SCHEMA_PREFIX):]
+        if short not in SYSTEM_TABLES:
+            available = ", ".join(sorted(SYSTEM_TABLES))
+            raise CatalogError(
+                f"unknown system table {name!r}; available: {available}"
+            )
+        if name not in names:
+            names.append(name)
+    return names
+
+
+def bind_system_tables(
+    cluster, state, provider: StorageProvider, names: Sequence[str]
+):
+    """Inject virtual tables into a copy of ``state``; wrap ``provider``.
+
+    Rows are materialized here — at bind time — so one query sees one
+    consistent reading of the monitor, and the query's own execution does
+    not show up in its result.
+    """
+    virtual = state.copy()
+    rowsets: Dict[str, RowSet] = {}
+    for name in names:
+        definition = SYSTEM_TABLES[name[len(SCHEMA_PREFIX):]]
+        virtual.tables[name] = Table(name=name, schema=definition.schema)
+        projection = Projection(
+            name=definition.projection_name,
+            anchor_table=name,
+            columns=tuple(definition.schema.names),
+            sort_order=(),
+            segmentation=Segmentation.replicated(),
+        )
+        virtual.projections[projection.name] = projection
+        rowsets[projection.name] = RowSet.from_rows(
+            definition.schema, definition.producer(cluster)
+        )
+    return virtual, SystemTableProvider(provider, rowsets)
+
+
+class SystemTableProvider(StorageProvider):
+    """Serves injected ``v_monitor`` projections; delegates everything else."""
+
+    def __init__(self, base: StorageProvider, rowsets: Dict[str, RowSet]):
+        self._base = base
+        self._rowsets = rowsets
+
+    def participants(self) -> List[str]:
+        return self._base.participants()
+
+    def initiator(self) -> str:
+        return self._base.initiator()
+
+    @property
+    def preserves_segmentation(self) -> bool:
+        return self._base.preserves_segmentation
+
+    def scan(
+        self,
+        node: str,
+        projection: str,
+        columns: Sequence[str],
+        predicate: Optional[Expr],
+        replicated: bool,
+    ) -> ScanResult:
+        rows = self._rowsets.get(projection)
+        if rows is None:
+            return self._base.scan(node, projection, columns, predicate, replicated)
+        # Virtual scans are free: no containers, no IO, no depot traffic.
+        # The executor re-applies the predicate after every scan, so
+        # ignoring it here is correct (just unpruned).
+        return ScanResult(rows=rows.select(list(columns)))

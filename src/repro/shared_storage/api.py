@@ -132,6 +132,8 @@ def retrying(
             return operation()
         except TransientStorageError:
             attempt += 1
+            if metrics is not None:
+                metrics.transient_failures += 1
             if attempt >= max_attempts:
                 raise
             if metrics is not None:

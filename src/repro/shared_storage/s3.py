@@ -28,6 +28,14 @@ from typing import Dict, List, Optional
 from repro.errors import ObjectNotFound, StorageError, TransientStorageError
 from repro.shared_storage.api import Filesystem
 
+__all__ = [
+    "FaultInjector",
+    "S3CostModel",
+    "S3LatencyModel",
+    "S3OpStats",
+    "SimulatedS3",
+]
+
 
 @dataclass
 class S3LatencyModel:
@@ -134,6 +142,33 @@ class FaultInjector:
         return self._digest.hexdigest()
 
 
+@dataclass
+class S3OpStats:
+    """Accounting for one request class (GET/PUT/LIST/DELETE).
+
+    ``transient_faults`` counts injected failures observed by this class;
+    ``throttled`` is the subset raised while a fault burst was active —
+    the distinction the paper's throttling discussion turns on.
+    """
+
+    requests: int = 0
+    bytes: int = 0
+    sim_seconds: float = 0.0
+    dollars: float = 0.0
+    transient_faults: int = 0
+    throttled: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "bytes": self.bytes,
+            "sim_seconds": self.sim_seconds,
+            "dollars": self.dollars,
+            "transient_faults": self.transient_faults,
+            "throttled": self.throttled,
+        }
+
+
 class SimulatedS3(Filesystem):
     """In-process S3 stand-in with the real thing's sharp edges."""
 
@@ -148,11 +183,29 @@ class SimulatedS3(Filesystem):
         self.cost = cost or S3CostModel()
         self.faults = faults or FaultInjector()
         self._objects: Dict[str, bytes] = {}
+        #: Per-request-class accounting alongside the aggregate ``metrics``.
+        self.op_stats: Dict[str, S3OpStats] = {
+            op: S3OpStats() for op in ("GET", "PUT", "LIST", "DELETE")
+        }
 
     # -- core operations -------------------------------------------------------
 
+    def _maybe_fail(self, operation: str) -> None:
+        """Route the fault draw through per-class accounting.  Burst state
+        is sampled *before* the draw because ``maybe_fail`` decrements the
+        burst window whether or not it injects."""
+        throttling = self.faults.burst_active
+        try:
+            self.faults.maybe_fail(operation)
+        except TransientStorageError:
+            stats = self.op_stats[operation]
+            stats.transient_faults += 1
+            if throttling:
+                stats.throttled += 1
+            raise
+
     def write(self, name: str, data: bytes) -> None:
-        self.faults.maybe_fail("PUT")
+        self._maybe_fail("PUT")
         if name in self._objects:
             raise StorageError(
                 f"refusing to overwrite immutable object {name!r}"
@@ -160,31 +213,48 @@ class SimulatedS3(Filesystem):
         self._objects[name] = bytes(data)
         self.metrics.put_requests += 1
         self.metrics.bytes_written += len(data)
-        self.metrics.sim_seconds += self.latency.write_seconds(len(data))
+        seconds = self.latency.write_seconds(len(data))
+        self.metrics.sim_seconds += seconds
         self.metrics.dollars += self.cost.put_cost()
+        stats = self.op_stats["PUT"]
+        stats.requests += 1
+        stats.bytes += len(data)
+        stats.sim_seconds += seconds
+        stats.dollars += self.cost.put_cost()
 
     def read(self, name: str) -> bytes:
-        self.faults.maybe_fail("GET")
+        self._maybe_fail("GET")
         try:
             data = self._objects[name]
         except KeyError:
             raise ObjectNotFound(name) from None
         self.metrics.get_requests += 1
         self.metrics.bytes_read += len(data)
-        self.metrics.sim_seconds += self.latency.read_seconds(len(data))
+        seconds = self.latency.read_seconds(len(data))
+        self.metrics.sim_seconds += seconds
         self.metrics.dollars += self.cost.get_cost()
+        stats = self.op_stats["GET"]
+        stats.requests += 1
+        stats.bytes += len(data)
+        stats.sim_seconds += seconds
+        stats.dollars += self.cost.get_cost()
         return data
 
     def list(self, prefix: str = "") -> List[str]:
-        self.faults.maybe_fail("LIST")
+        self._maybe_fail("LIST")
         self.metrics.list_requests += 1
         self.metrics.sim_seconds += self.latency.list_seconds
         self.metrics.dollars += self.cost.list_cost()
+        stats = self.op_stats["LIST"]
+        stats.requests += 1
+        stats.sim_seconds += self.latency.list_seconds
+        stats.dollars += self.cost.list_cost()
         return sorted(n for n in self._objects if n.startswith(prefix))
 
     def delete(self, name: str) -> None:
-        self.faults.maybe_fail("DELETE")
+        self._maybe_fail("DELETE")
         self.metrics.delete_requests += 1
+        self.op_stats["DELETE"].requests += 1
         self._objects.pop(name, None)  # idempotent, as on real S3
 
     def size(self, name: str) -> int:

@@ -8,10 +8,16 @@ SQL statements end with ``;``.  Backslash meta-commands mirror vsql's:
     \\dp           list projections and subscriptions
     \\nodes        node states, cache stats
     \\plan         toggle plan printing
-    \\stats        stats of the last query
+    \\stats        stats of the last query + cluster depot/S3 totals
+    \\profile SQL  run a query with profiling; print per-operator profile
     \\kill NODE    kill a node
     \\recover NODE recover a node
     \\q            quit
+
+System tables are available through plain SQL, e.g.::
+
+    select * from v_monitor.depot_activity;
+    select request, s3_dollars from v_monitor.dc_requests_issued;
 """
 
 from __future__ import annotations
@@ -85,6 +91,39 @@ class Shell:
         else:
             self.write(f"OK (version {self.cluster.version})")
 
+    def _profile(self, sql: str) -> None:
+        """Run one SELECT with profiling on; print its operator profile."""
+        sql = sql.strip().rstrip(";").strip()
+        if not sql:
+            self.write("usage: \\profile select ...")
+            return
+        obs = self.cluster.enable_observability()
+        try:
+            result = self.cluster.query(sql)
+        except ReproError as exc:
+            self.write(f"ERROR: {exc}")
+            return
+        self.last_stats = result.stats
+        if not obs.profiles:
+            self.write("no profile recorded")
+            return
+        profile = obs.profiles[-1]
+        rows = [
+            [
+                op.path_id, op.operator, op.node, op.rows,
+                op.sim_seconds * 1000, op.depot_hits, op.depot_misses,
+                op.s3_requests, f"{op.s3_dollars:.6f}", op.detail,
+            ]
+            for op in profile.operators
+        ]
+        self.write(format_table(
+            f"profile (request {profile.request_id}, "
+            f"{profile.latency_seconds * 1000:.2f} ms simulated)",
+            ["path", "operator", "node", "rows", "ms", "depot_hits",
+             "depot_misses", "s3_gets", "s3_dollars", "detail"],
+            rows,
+        ))
+
     # -- meta commands ----------------------------------------------------------------
 
     def _meta(self, command: str) -> bool:
@@ -139,6 +178,24 @@ class Shell:
                     f"s3={s.total_bytes_from_shared}B "
                     f"net={s.network_bytes}B"
                 )
+            from repro.obs.metrics import cluster_metrics
+
+            summary = cluster_metrics(self.cluster)
+            depot = summary["depot"]
+            self.write(
+                f"depot: hit_rate={depot['hit_rate']:.1%} "
+                f"byte_hit_rate={depot['byte_hit_rate']:.1%} "
+                f"evictions={depot['evictions']}"
+            )
+            totals = summary["s3"].get("totals")
+            if totals:
+                self.write(
+                    f"s3: requests={totals['requests']} "
+                    f"dollars=${totals['dollars']:.6f} "
+                    f"retries={totals['retries']}"
+                )
+        elif name == "\\profile":
+            self._profile(" ".join(args))
         elif name == "\\kill" and args:
             try:
                 self.cluster.kill_node(args[0])

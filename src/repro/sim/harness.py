@@ -21,6 +21,8 @@ from typing import List, Optional
 
 from repro.cluster.eon import EonCluster
 from repro.common.clock import SimClock
+from repro.obs import Observability
+from repro.obs.metrics import cluster_metrics
 from repro.shared_storage.s3 import FaultInjector, SimulatedS3
 from repro.sim.generator import ScenarioGenerator
 from repro.sim.invariants import InvariantRegistry, InvariantViolation
@@ -59,6 +61,10 @@ class SimWorld:
             failure_rate=self.config.base_failure_rate, seed=seed ^ 0x5EED
         )
         shared = SimulatedS3(faults=faults)
+        # Observability is safe to leave on under the determinism contract:
+        # recording draws no RNG and charges no requests, so the campaign
+        # digest is unchanged — and a violation can then carry the spans of
+        # its failing step.
         self.cluster = EonCluster(
             [f"n{i}" for i in range(self.config.node_count)],
             shard_count=self.config.shard_count,
@@ -67,6 +73,7 @@ class SimWorld:
             cache_bytes=self.config.cache_bytes,
             seed=seed,
             clock=self.clock,
+            observability=Observability(clock=self.clock),
         )
         self.oracle = SimOracle(seed)
         self.table = self.config.table
@@ -137,12 +144,16 @@ class CampaignResult:
         registry: InvariantRegistry,
         schedule: List,
         violation: Optional[InvariantViolation],
+        metrics: Optional[dict] = None,
     ):
         self.seed = seed
         self.trace = trace
         self.registry = registry
         self.schedule = schedule
         self.violation = violation
+        #: Cluster-wide depot/S3 summary at campaign end (see
+        #: :func:`repro.obs.metrics.cluster_metrics`).
+        self.metrics = metrics or {}
 
     @property
     def ok(self) -> bool:
@@ -174,6 +185,8 @@ def _execute_step(
     violation (halt mode) or None (clean step, or non-halting registry)."""
     world.step = step
     world.clock_floor = world.clock.now
+    tracer = world.cluster.obs.tracer
+    mark = tracer.mark()
     violation: Optional[InvariantViolation] = None
     try:
         outcome = action.apply(world)
@@ -189,6 +202,10 @@ def _execute_step(
             registry.check_all(world, world.seed, step)
         except InvariantViolation as exc:
             violation = exc
+    if violation is not None:
+        # Attach the failing step's spans: what the cluster was doing when
+        # the invariant broke, alongside the (seed, step) repro handle.
+        violation.trace = tracer.spans_since(mark)
     return violation if registry.halt else None
 
 
@@ -212,7 +229,10 @@ def run_campaign(
         if violation is not None:
             break
     world.release_all_pins()
-    return CampaignResult(seed, trace, registry, schedule, violation)
+    return CampaignResult(
+        seed, trace, registry, schedule, violation,
+        metrics=cluster_metrics(world.cluster),
+    )
 
 
 def replay_schedule(
@@ -233,4 +253,7 @@ def replay_schedule(
         if violation is not None:
             break
     world.release_all_pins()
-    return CampaignResult(seed, trace, registry, list(schedule), violation)
+    return CampaignResult(
+        seed, trace, registry, list(schedule), violation,
+        metrics=cluster_metrics(world.cluster),
+    )

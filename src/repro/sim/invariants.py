@@ -23,6 +23,11 @@ from repro.errors import ReproError
 class InvariantViolation(ReproError):
     """A global invariant failed at a specific step of a seeded schedule."""
 
+    #: Spans recorded during the failing step (attached by the harness when
+    #: the world's observability is enabled) — the "what was the cluster
+    #: doing" context for a repro handle.
+    trace: Optional[List] = None
+
     def __init__(self, invariant: str, seed: int, step: int, detail: str):
         self.invariant = invariant
         self.seed = seed

@@ -69,6 +69,14 @@ class _Parser:
             )
         return token
 
+    def qualified_name(self) -> str:
+        """``ident`` or ``ident.ident`` (schema-qualified table reference,
+        e.g. the ``v_monitor.*`` system tables)."""
+        name = self.expect("ident").value
+        if self.accept("op", "."):
+            name = f"{name}.{self.expect('ident').value}"
+        return name
+
     # -- statements -------------------------------------------------------------
 
     def statement(self) -> Statement:
@@ -110,11 +118,11 @@ class _Parser:
             if not self.accept("op", ","):
                 break
         self.expect("keyword", "from")
-        tables = [TableRef(self.expect("ident").value)]
+        tables = [TableRef(self.qualified_name())]
         joins: List[JoinClause] = []
         while True:
             if self.accept("op", ","):
-                tables.append(TableRef(self.expect("ident").value))
+                tables.append(TableRef(self.qualified_name()))
                 continue
             how = None
             if self.accept("keyword", "inner"):
@@ -122,7 +130,7 @@ class _Parser:
             elif self.accept("keyword", "left"):
                 how = "left"
             if self.accept("keyword", "join"):
-                table = TableRef(self.expect("ident").value)
+                table = TableRef(self.qualified_name())
                 self.expect("keyword", "on")
                 condition = self.expression()
                 joins.append(JoinClause(table, condition, how or "inner"))

@@ -214,6 +214,7 @@ class MergeoutCoordinatorService:
 
         parts: List[RowSet] = []
         purged = 0
+        bytes_before = report.bytes_read
         for container in job:
             data, _, _ = node.fetch_storage(container.location, cluster.shared_data)
             report.bytes_read += len(data)
@@ -231,6 +232,7 @@ class MergeoutCoordinatorService:
                 purged += len(positions)
                 rows = rows.filter(mask_from_positions(positions, container.row_count))
             parts.append(rows)
+        bytes_in = report.bytes_read - bytes_before
         merged = RowSet.concat(parts).sort_by(list(sort_order))
         data = write_container(merged)
         sid = node.sid_factory.next_sid()
@@ -270,3 +272,21 @@ class MergeoutCoordinatorService:
         for peer_name in cluster.active_up_subscribers(shard_id):
             if peer_name != node.name:
                 cluster.nodes[peer_name].cache.put(str(sid), data, info=info)
+        obs = getattr(cluster, "obs", None)  # enterprise clusters have none
+        if obs is not None and obs.enabled:
+            shared = cluster.shared_data
+            obs.tracer.record(
+                "mergeout_job",
+                duration=shared.estimate_read_seconds(bytes_in)
+                + shared.estimate_write_seconds(len(data)),
+                node=node.name,
+                projection=projection_name,
+                shard=shard_id,
+                containers_in=len(job),
+                bytes_read=bytes_in,
+                bytes_written=len(data),
+                rows_purged=purged,
+            )
+            obs.metrics.counter("mergeout.jobs", node=node.name).inc()
+            obs.metrics.counter("mergeout.bytes_written", node=node.name).inc(len(data))
+            obs.metrics.counter("mergeout.rows_purged", node=node.name).inc(purged)

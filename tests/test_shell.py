@@ -115,3 +115,64 @@ class TestMetaCommands:
         shell, output = shell_io
         shell.run(["\\h"])
         assert "meta-commands" in text(output)
+
+
+class TestObservabilityCommands:
+    def test_stats_reports_depot_and_s3_totals(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "create table t (a int);",
+            "insert into t values (1), (2);",
+            "select count(*) from t;",
+            "\\stats",
+        ])
+        assert "depot: hit_rate=" in text(output)
+        assert "byte_hit_rate=" in text(output)
+        assert "s3: requests=" in text(output)
+        assert "dollars=$" in text(output)
+
+    def test_stats_totals_shown_even_before_any_query(self, shell_io):
+        shell, output = shell_io
+        shell.run(["\\stats"])
+        assert "no query yet" in text(output)
+        assert "depot: hit_rate=" in text(output)
+
+    def test_profile_prints_operator_table(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "create table t (a int);",
+            "insert into t values (1), (2), (3);",
+            "\\profile select count(*) from t;",
+        ])
+        assert "profile (request" in text(output)
+        assert "Scan" in text(output)
+        assert "Aggregate" in text(output)
+        assert "depot_hits" in text(output)
+
+    def test_profile_sets_last_stats(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "create table t (a int);",
+            "insert into t values (1);",
+            "\\profile select a from t;",
+            "\\stats",
+        ])
+        assert "latency=" in text(output)
+
+    def test_profile_without_sql_prints_usage(self, shell_io):
+        shell, output = shell_io
+        shell.run(["\\profile"])
+        assert "usage: \\profile" in text(output)
+
+    def test_profile_reports_errors(self, shell_io):
+        shell, output = shell_io
+        shell.run(["\\profile select zzz from nowhere;"])
+        assert "ERROR" in text(output)
+
+    def test_system_table_query_through_shell(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "select node_name, hits from v_monitor.depot_activity;",
+        ])
+        assert "(3 rows)" in text(output)
+        assert "n1" in text(output)

@@ -1,0 +1,126 @@
+"""Cache-warming budget edge cases and metrics determinism.
+
+``warm_list`` is the peer's side of section 5.2's warming protocol: "the
+subscriber supplies the peer with a capacity target and the peer supplies
+a list of most-recently-used files that fit within the budget."  The edge
+cases here pin down what "fit" means when the budget is degenerate.
+"""
+
+import pytest
+
+from repro.cache.disk_cache import FileCache, ObjectInfo, ShapingPolicy
+from repro.shared_storage.posix import MemoryFilesystem
+from repro.cache.warming import warm_from_peer
+from repro.sim.harness import CampaignConfig, run_campaign
+
+
+def make_cache(capacity=1000, policy=None):
+    return FileCache(MemoryFilesystem(), capacity_bytes=capacity, policy=policy)
+
+
+def fill_peer(peer, sizes):
+    """Insert files f0..fn of the given sizes; later puts are hotter."""
+    for i, size in enumerate(sizes):
+        assert peer.put(f"f{i}", bytes(size))
+
+
+class TestWarmListBudget:
+    def test_zero_budget_offers_nothing(self):
+        peer = make_cache()
+        fill_peer(peer, [10, 20, 30])
+        assert peer.warm_list(0) == []
+
+    def test_budget_smaller_than_hottest_file_skips_to_colder(self):
+        peer = make_cache()
+        fill_peer(peer, [10, 20, 300])  # f2 (300 B) is the hottest
+        # 300 B does not fit in 50 B, but the peer keeps walking down the
+        # recency order rather than giving up: f1 and f0 both fit.
+        assert set(peer.warm_list(50)) == {"f1", "f0"}
+
+    def test_budget_smaller_than_every_file(self):
+        peer = make_cache()
+        fill_peer(peer, [100, 200])
+        assert peer.warm_list(50) == []
+
+    def test_exact_fit_included(self):
+        peer = make_cache()
+        fill_peer(peer, [40, 60])
+        assert set(peer.warm_list(100)) == {"f0", "f1"}
+
+    def test_recency_wins_within_budget(self):
+        peer = make_cache()
+        fill_peer(peer, [50, 50, 50])
+        peer.get("f0")  # f0 becomes the most recent
+        listed = peer.warm_list(100)
+        assert set(listed) == {"f0", "f2"}
+
+    def test_pinned_entries_are_still_offered(self):
+        # Pins shape *eviction*, not warming: a pinned hot file is exactly
+        # what a new subscriber wants in its cache.
+        policy = ShapingPolicy(pin=lambda info: info.table == "keep")
+        peer = make_cache(policy=policy)
+        assert peer.put("pinned", bytes(30), info=ObjectInfo(table="keep"))
+        assert peer.put("plain", bytes(30))
+        assert set(peer.warm_list(100)) == {"pinned", "plain"}
+
+
+class TestWarmFromPeerBudget:
+    def test_zero_budget_transfers_nothing(self):
+        shared = MemoryFilesystem()
+        peer, subscriber = make_cache(), make_cache()
+        fill_peer(peer, [10, 20])
+        report = warm_from_peer(subscriber, peer, shared, budget_bytes=0)
+        assert report.requested == 0
+        assert report.bytes_transferred == 0
+        assert subscriber.file_count == 0
+
+    def test_oversized_hot_file_does_not_block_warming(self):
+        shared = MemoryFilesystem()
+        peer, subscriber = make_cache(), make_cache()
+        fill_peer(peer, [10, 20, 300])  # f2 hottest, too big for the budget
+        report = warm_from_peer(subscriber, peer, shared, budget_bytes=50)
+        assert sorted(report.files) == ["f0", "f1"]
+        assert report.copied_from_peer == 2
+        assert report.bytes_transferred == 30
+        assert not subscriber.contains("f2")
+
+    def test_pinned_peer_entry_copies_over(self):
+        shared = MemoryFilesystem()
+        policy = ShapingPolicy(pin=lambda info: info.table == "keep")
+        peer = make_cache(policy=policy)
+        subscriber = make_cache()
+        assert peer.put("pinned", bytes(30), info=ObjectInfo(table="keep"))
+        report = warm_from_peer(subscriber, peer, shared, budget_bytes=100)
+        assert report.copied_from_peer == 1
+        assert subscriber.contains("pinned")
+        # The *subscriber's* policy decides pinning on its side; with no
+        # pin predicate the copied file is ordinary LRU fodder.
+        assert subscriber.pinned_bytes == 0
+
+
+class TestMetricsDeterminism:
+    def test_same_seed_same_digest_and_metrics(self):
+        config = CampaignConfig(steps=12)
+        first = run_campaign(seed=6, config=config)
+        second = run_campaign(seed=6, config=config)
+        assert first.digest() == second.digest()
+        assert first.metrics == second.metrics
+        # The campaign exercised the cluster, so the summary is non-trivial.
+        assert first.metrics["depot"]["insertions"] > 0
+        assert first.metrics["s3"]["totals"]["requests"] > 0
+
+    def test_different_seeds_differ_somewhere(self):
+        config = CampaignConfig(steps=12)
+        metrics = [
+            run_campaign(seed=s, config=config).metrics for s in (1, 2, 3)
+        ]
+        assert any(m != metrics[0] for m in metrics[1:])
+
+    def test_metrics_summary_has_byte_accounting(self):
+        result = run_campaign(seed=6, config=CampaignConfig(steps=12))
+        depot = result.metrics["depot"]
+        assert set(depot) >= {
+            "bytes_read", "bytes_written", "bytes_evicted", "bytes_missed",
+            "hit_rate", "byte_hit_rate",
+        }
+        assert 0.0 <= depot["byte_hit_rate"] <= 1.0
