@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: default test lint sim-smoke sim-campaign bench obs-demo
+.PHONY: default test test-fast lint sim-smoke sim-campaign bench bench-smoke obs-demo
 
 # Default flow: lint, then the tier-1 suite.
 default: lint test
@@ -8,6 +8,10 @@ default: lint test
 # Tier-1: the full test suite (includes the marked `sim` campaigns).
 test:
 	$(PY) -m pytest -x -q
+
+# Inner-loop subset: everything except the sim campaigns and slow sweeps.
+test-fast:
+	$(PY) -m pytest -x -q -m "not sim and not slow"
 
 # Lint with ruff when available; fall back to a syntax sweep (compileall)
 # so `make lint` is meaningful in offline environments without ruff.
@@ -29,6 +33,11 @@ sim-campaign:
 
 bench:
 	$(PY) -m pytest benchmarks -q
+
+# Quick benchmark confidence check: the Fig-10 TPC-H bench (including the
+# I/O scheduler on/off ablation) at its tiny default scale, BENCH JSON out.
+bench-smoke:
+	$(PY) -m pytest benchmarks/bench_fig10_tpch.py -q -s
 
 # Observability walkthrough: trace a TPC-H query, print the span tree,
 # the operator profile, and sample v_monitor system-table queries.

@@ -66,6 +66,88 @@ def test_fig10_tpch_three_ways(benchmark, eon_tpch, enterprise_tpch):
         assert cold_ms < warm_ms * 200, f"{name}: S3 should stay within bounds"
 
 
+def _cold_run(cluster, sql):
+    """Clear every depot, run the query, return (latency_s, gets, dollars)."""
+    for node in cluster.nodes.values():
+        node.cache.clear()
+    gets_before = cluster.shared.metrics.get_requests
+    dollars_before = cluster.shared.metrics.dollars
+    stats = cluster.query(sql).stats
+    return (
+        stats.latency_seconds,
+        cluster.shared.metrics.get_requests - gets_before,
+        cluster.shared.metrics.dollars - dollars_before,
+    )
+
+
+def test_fig10_io_scheduler_ablation(benchmark, eon_tpch_pair):
+    """Cold-depot TPC-H with the parallel I/O scheduler on vs off.
+
+    The scheduler's whole claim — lanes, dedup, coalescing, prefetch —
+    must show up as simulated wall-clock AND as fewer (cheaper) S3 GETs,
+    or it is just complexity."""
+    on, off = eon_tpch_pair
+    rows_box = {}
+
+    def run():
+        rows = []
+        totals = {"on_s": 0.0, "off_s": 0.0, "on_gets": 0, "off_gets": 0}
+        for query in TPCH_QUERIES:
+            on_s, on_gets, _ = _cold_run(on, query.sql)
+            off_s, off_gets, _ = _cold_run(off, query.sql)
+            totals["on_s"] += on_s
+            totals["off_s"] += off_s
+            totals["on_gets"] += on_gets
+            totals["off_gets"] += off_gets
+            rows.append(
+                [f"Q{query.number}", off_s * 1000, on_s * 1000,
+                 off_gets, on_gets]
+            )
+        rows_box["rows"] = rows
+        rows_box["totals"] = totals
+        return totals["on_s"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    totals = rows_box["totals"]
+    reduction = 1.0 - totals["on_s"] / totals["off_s"]
+    emit(format_table(
+        "I/O scheduler ablation — cold-depot TPC-H (simulated, 4 nodes)",
+        ["query", "serial ms", "scheduler ms", "serial GETs", "sched GETs"],
+        rows_box["rows"],
+    ))
+    emit(
+        f"cold-depot wall-clock reduction: {reduction:.1%}; "
+        f"S3 GETs {totals['off_gets']} -> {totals['on_gets']}"
+    )
+    io_stats = cluster_metrics(on)["io"]
+    write_bench_json(
+        "fig10_io_scheduler",
+        {
+            "figure": "fig10-ablation",
+            "queries": {
+                name: {
+                    "serial_cold_ms": off_ms,
+                    "scheduler_cold_ms": on_ms,
+                    "serial_gets": off_gets,
+                    "scheduler_gets": on_gets,
+                }
+                for name, off_ms, on_ms, off_gets, on_gets in rows_box["rows"]
+            },
+            "wall_clock_reduction": reduction,
+            "total_gets": {"scheduler": totals["on_gets"],
+                           "serial": totals["off_gets"]},
+        },
+        metrics=cluster_metrics(on),
+    )
+    # Acceptance: >= 25% simulated wall-clock reduction AND fewer GETs.
+    assert reduction >= 0.25, f"only {reduction:.1%} faster"
+    assert totals["on_gets"] < totals["off_gets"]
+    # Scheduler bookkeeping stayed sane across the whole sweep.
+    assert io_stats["double_fetches"] == 0
+    assert io_stats["capacity_violations"] == 0
+    assert io_stats["coalesced_gets"] > 0
+
+
 def test_fig10_cache_hit_behavior(benchmark, eon_tpch):
     """Second run of a query must be fully cache-resident."""
 

@@ -27,6 +27,37 @@ def eon_tpch(tpch_data) -> EonCluster:
     return cluster
 
 
+def load_tpch_chunked(cluster, data: TpchData, slices: int = 4) -> None:
+    """Load each table in ``slices`` COPY batches so every shard holds
+    several containers — the shape that gives the I/O scheduler real
+    batches (dedup, coalescing, prefetch) to work with."""
+    for name in ENTERPRISE_TABLES:
+        rows = data.tables[name].to_pylist()
+        if len(rows) <= slices:
+            cluster.load(name, rows)
+            continue
+        for i in range(slices):
+            chunk = rows[i::slices]
+            if chunk:
+                cluster.load(name, chunk)
+
+
+@pytest.fixture(scope="session")
+def eon_tpch_pair(tpch_data):
+    """Two identically-seeded Eon clusters, chunk-loaded: I/O scheduler on
+    and off, for the cold-depot ablation."""
+    pair = []
+    for parallel_io in (True, False):
+        cluster = EonCluster(
+            ["n1", "n2", "n3", "n4"], shard_count=4, seed=1,
+            parallel_io=parallel_io,
+        )
+        setup_tpch_schema(cluster)
+        load_tpch_chunked(cluster, tpch_data)
+        pair.append(cluster)
+    return pair
+
+
 @pytest.fixture(scope="session")
 def enterprise_tpch(tpch_data) -> EnterpriseCluster:
     cluster = EnterpriseCluster(["n1", "n2", "n3", "n4"], seed=1)

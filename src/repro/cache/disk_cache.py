@@ -73,6 +73,13 @@ class CacheStats:
     bytes_written: int = 0
     bytes_evicted: int = 0
     bytes_missed: int = 0
+    #: Prefetch consumption is accounted separately from demand traffic: a
+    #: scan that reads a file the I/O scheduler fetched speculatively was
+    #: *not* a demand hit (the file was charged as a miss when fetched), so
+    #: folding it into ``hits``/``bytes_read`` would double-count the bytes
+    #: and push ``byte_hit_rate`` above what the depot actually absorbed.
+    prefetch_hits: int = 0
+    prefetch_bytes_read: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -162,6 +169,34 @@ class FileCache:
         self.stats.hits += 1
         self.stats.bytes_read += len(data)
         return data
+
+    def peek(self, name: str) -> Optional[bytes]:
+        """Read a cached file without touching stats or recency.
+
+        Peer-depot fetches and other out-of-band readers use this: a
+        remote node borrowing a file must not inflate this node's demand
+        hit counts or reorder its LRU (the owner's eviction decisions
+        should reflect only its own workload).
+        """
+        if name not in self._index:
+            return None
+        try:
+            return self._fs.read(self._key(name))
+        except ObjectNotFound:
+            self._forget(name)  # self-heal, as in ``get``
+            return None
+
+    def note_prefetch_hit(self, name: str, nbytes: int) -> None:
+        """Record that a scan consumed a prefetch-filled entry.
+
+        Touches recency (the file *was* used) but books the bytes under
+        the prefetch counters instead of ``hits``/``bytes_read`` — see
+        :class:`CacheStats` for why.
+        """
+        if name in self._index:
+            self._index.touch(name)
+        self.stats.prefetch_hits += 1
+        self.stats.prefetch_bytes_read += nbytes
 
     def contains(self, name: str) -> bool:
         return name in self._index

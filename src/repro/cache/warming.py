@@ -68,7 +68,11 @@ def warm_from_peer(
             continue
         data: Optional[bytes] = None
         if prefer_peer:
-            data = peer.get(name)
+            # Out-of-band read: warming must not inflate the peer's demand
+            # hit counts or reorder its LRU (its eviction decisions should
+            # reflect its own workload, and ``byte_hit_rate`` denominators
+            # must reconcile with depot_activity — see the stats audit).
+            data = peer.peek(name)
             if data is not None:
                 report.copied_from_peer += 1
         if data is None:

@@ -62,6 +62,7 @@ from repro.errors import (
     QuorumLost,
     ShardCoverageLost,
 )
+from repro.io.scheduler import IOScheduler, IOSchedulerConfig
 from repro.obs import Observability, QueryProfile, RequestRecord
 from repro.obs.system_tables import bind_system_tables, system_tables_referenced
 from repro.sharding.assignment import select_participating_subscriptions
@@ -98,6 +99,8 @@ class EonCluster:
         cost_model: Optional[CostModel] = None,
         racks: Optional[Dict[str, str]] = None,
         observability: Optional[Observability] = None,
+        parallel_io: bool = True,
+        io_config: Optional[IOSchedulerConfig] = None,
         _bootstrap: bool = True,
     ):
         if not node_names:
@@ -123,6 +126,11 @@ class EonCluster:
                 rack=racks.get(name),
                 rng=random.Random(self.rng.getrandbits(64)),
             )
+        #: Parallel depot I/O scheduler for scans; None restores the
+        #: strictly serial miss path (the pre-scheduler behaviour).
+        self.io_scheduler = (
+            IOScheduler(self, io_config) if parallel_io else None
+        )
         self.coordinator = CommitCoordinator(self)
         self.reaper = FileReaper(self)
         self.subclusters: Dict[str, Set[str]] = {}

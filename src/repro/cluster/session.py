@@ -25,6 +25,7 @@ from repro.engine.executor import ScanResult, StorageProvider
 from repro.engine.expressions import Expr, extract_column_bounds
 from repro.engine.pruning import prune_containers
 from repro.errors import ExecutionError, QueryCancelled
+from repro.io.scheduler import FetchRequest
 from repro.sharding.shard import REPLICA_SHARD_ID, ShardMap
 from repro.storage.container import ROSContainer, RowSet, read_container
 from repro.storage.delete_vector import (
@@ -135,6 +136,13 @@ class EonStorageProvider(StorageProvider):
         else:
             assignments = session.shards_of(node_name)
 
+        # Pass 1: resolve each assignment's post-pruning container list and
+        # collect the full storage-file set the scan will read.  Handing
+        # the whole batch to the I/O scheduler up front is what lets it
+        # dedupe, coalesce, and overlap the fetches (see repro.io).
+        scan_units: List[tuple] = []
+        fetch_requests: List[FetchRequest] = []
+        ordinal = 0
         for shard_id, sub_index, share_count in assignments:
             containers = state.containers_of(projection, shard_id)
             containers.sort(key=lambda c: str(c.sid))
@@ -144,18 +152,47 @@ class EonStorageProvider(StorageProvider):
                 kept = [c for i, c in enumerate(kept) if i % share_count == sub_index]
             hash_crunch = session.crunch == "hash" and share_count > 1
             read_columns = list(columns)
+            seg_cols: Tuple[str, ...] = ()
             if hash_crunch:
                 # The secondary hash predicate needs the segmentation
                 # columns even when the query does not read them.
                 seg_cols = self._segmentation_columns(state, projection)
                 read_columns += [c for c in seg_cols if c not in read_columns]
+            scan_units.append(
+                (kept, hash_crunch, read_columns, seg_cols, share_count, sub_index)
+            )
+            for container in kept:
+                info = self._object_info(state, container)
+                fetch_requests.append(
+                    FetchRequest(
+                        container.location, container.size_bytes, ordinal, info
+                    )
+                )
+                for dv in state.delete_vectors_for(str(container.sid)):
+                    fetch_requests.append(
+                        FetchRequest(dv.location, dv.size_bytes, ordinal, info)
+                    )
+                ordinal += 1
+
+        scheduler = getattr(self.cluster, "io_scheduler", None)
+        batch = None
+        if scheduler is not None and fetch_requests:
+            batch = scheduler.fetch_batch(
+                node, fetch_requests, session.use_cache, result,
+                cancelled=lambda: session.cancelled,
+            )
+
+        # Pass 2: scan the containers (bytes come out of the batch; any
+        # file the batch does not cover takes the serial fetch path).
+        for kept, hash_crunch, read_columns, seg_cols, share_count, sub_index in scan_units:
             for container in kept:
                 if session.cancelled:
                     raise QueryCancelled(
                         f"session cancelled while scanning {projection!r}"
                     )
                 rows = self._read_container(
-                    node, state, container, read_columns, result, predicate_bounds
+                    node, state, container, read_columns, result,
+                    predicate_bounds, batch,
                 )
                 if hash_crunch and rows.num_rows:
                     hashes = shard_map.hash_rowset(rows, seg_cols)
@@ -182,10 +219,36 @@ class EonStorageProvider(StorageProvider):
             return tuple(lap.segmentation.columns)
         raise ExecutionError(f"unknown projection {projection_name!r}")
 
-    def _fetch_through_depot(self, node, location: str, info, result: ScanResult) -> bytes:
+    def _object_info(self, state, container: ROSContainer) -> ObjectInfo:
+        projection = state.projections.get(container.projection)
+        lap = state.live_aggs.get(container.projection)
+        anchor = (
+            projection.anchor_table
+            if projection is not None
+            else (lap.anchor_table if lap is not None else None)
+        )
+        return ObjectInfo(
+            table=anchor,
+            projection=container.projection,
+            partition_key=container.partition_key,
+            shard_id=container.shard_id,
+        )
+
+    def _fetch_through_depot(
+        self, node, location: str, info, result: ScanResult, batch=None
+    ) -> bytes:
         """One file fetch: depot hit/miss and S3 accounting, plus an
         ``s3_get`` span (duration = that request's IO seconds) when the
-        cluster's observability is enabled."""
+        cluster's observability is enabled.
+
+        When the scan pre-fetched a batch (``batch`` is set), bytes come
+        straight out of it — the scheduler already did all hit/miss/S3
+        accounting at fetch time; consuming only books prefetch credit.
+        """
+        if batch is not None:
+            data = self.cluster.io_scheduler.consume(batch, node, location, result)
+            if data is not None:
+                return data
         obs = self.cluster.obs
         evictions_before = node.cache.stats.evictions if obs.enabled else 0
         data, from_cache, io_seconds = node.fetch_storage(
@@ -222,21 +285,12 @@ class EonStorageProvider(StorageProvider):
         columns: Sequence[str],
         result: ScanResult,
         predicate_bounds: Optional[dict] = None,
+        batch=None,
     ) -> RowSet:
-        projection = state.projections.get(container.projection)
-        lap = state.live_aggs.get(container.projection)
-        anchor = (
-            projection.anchor_table
-            if projection is not None
-            else (lap.anchor_table if lap is not None else None)
+        info = self._object_info(state, container)
+        data = self._fetch_through_depot(
+            node, container.location, info, result, batch
         )
-        info = ObjectInfo(
-            table=anchor,
-            projection=container.projection,
-            partition_key=container.partition_key,
-            shard_id=container.shard_id,
-        )
-        data = self._fetch_through_depot(node, container.location, info, result)
         reader = read_container(data)
         dvs = state.delete_vectors_for(str(container.sid))
 
@@ -256,7 +310,9 @@ class EonStorageProvider(StorageProvider):
         if dvs:
             position_sets = []
             for dv in dvs:
-                dv_data = self._fetch_through_depot(node, dv.location, info, result)
+                dv_data = self._fetch_through_depot(
+                    node, dv.location, info, result, batch
+                )
                 position_sets.append(read_delete_vector(dv_data))
             mask = mask_from_positions(
                 combine_positions(position_sets), container.row_count

@@ -25,7 +25,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional, Sequence
+from typing import Callable, Generator, List, Optional, Sequence, Tuple
 
 
 class SimClock:
@@ -53,6 +53,33 @@ class SimClock:
             raise ValueError("cannot move time backwards")
         self.now += dt
         self.max_now = max(self.max_now, self.now)
+
+    def charge_parallel(
+        self, durations: Sequence[float], lanes: int
+    ) -> Tuple[float, List[float]]:
+        """Cost of running ``durations`` over ``lanes`` concurrent lanes.
+
+        Greedy in-order assignment: each duration goes to the lane that
+        frees up earliest (lowest index on ties), matching a fetch
+        scheduler that issues requests in plan order onto a bounded pool
+        of connections.  Returns ``(makespan, lane_totals)`` where
+        ``makespan`` is the max over lanes — the wall-clock the batch
+        occupies — and ``lane_totals`` the per-lane busy seconds (their
+        sum is what a serial execution would have charged).
+
+        Pure accounting: like query latency generally, this does not move
+        ``now`` — callers fold the makespan into cost-model latency.
+        Deterministic for a given input (no RNG, no tie ambiguity).
+        """
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if any(d < 0 for d in durations):
+            raise ValueError("durations must be >= 0")
+        lane_free = [0.0] * min(lanes, max(len(durations), 1))
+        for duration in durations:
+            index = min(range(len(lane_free)), key=lambda i: (lane_free[i], i))
+            lane_free[index] += duration
+        return (max(lane_free) if durations else 0.0), lane_free
 
     # -- event loop ----------------------------------------------------------
 

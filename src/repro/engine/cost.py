@@ -45,6 +45,10 @@ class NodeWork:
     containers_scanned: int = 0
     containers_pruned: int = 0
     blocks_pruned: int = 0
+    #: Parallel I/O scheduler accounting (see :mod:`repro.io.scheduler`).
+    prefetch_hits: int = 0
+    peer_fetches: int = 0
+    coalesced_gets: int = 0
 
     @property
     def busy_seconds(self) -> float:
@@ -93,3 +97,15 @@ class QueryStats:
     @property
     def total_rows_scanned(self) -> int:
         return sum(w.rows_scanned for w in self.per_node.values())
+
+    @property
+    def total_prefetch_hits(self) -> int:
+        return sum(w.prefetch_hits for w in self.per_node.values())
+
+    @property
+    def total_peer_fetches(self) -> int:
+        return sum(w.peer_fetches for w in self.per_node.values())
+
+    @property
+    def total_coalesced_gets(self) -> int:
+        return sum(w.coalesced_gets for w in self.per_node.values())

@@ -59,6 +59,11 @@ class ScanResult:
     depot_misses: int = 0
     s3_requests: int = 0
     s3_dollars: float = 0.0
+    # Parallel I/O scheduler accounting (zero when the scheduler is off
+    # or the provider has no depot).
+    prefetch_hits: int = 0
+    peer_fetches: int = 0
+    coalesced_gets: int = 0
 
 
 class StorageProvider(abc.ABC):
@@ -319,6 +324,9 @@ class Executor:
             work.containers_scanned += result.containers_scanned
             work.containers_pruned += result.containers_pruned
             work.blocks_pruned += result.blocks_pruned
+            work.prefetch_hits += result.prefetch_hits
+            work.peer_fetches += result.peer_fetches
+            work.coalesced_gets += result.coalesced_gets
             decode_cpu = (
                 result.rows.num_rows * len(node.columns) * self.cost.cell_cpu_seconds
             )

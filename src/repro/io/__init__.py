@@ -1,0 +1,21 @@
+"""Deterministic parallel I/O scheduling for the depot <-> shared-storage path."""
+
+from repro.io.scheduler import (
+    FetchBatch,
+    FetchPlan,
+    FetchRequest,
+    IOScheduler,
+    IOSchedulerConfig,
+    IOStats,
+    plan_fetch,
+)
+
+__all__ = [
+    "FetchBatch",
+    "FetchPlan",
+    "FetchRequest",
+    "IOScheduler",
+    "IOSchedulerConfig",
+    "IOStats",
+    "plan_fetch",
+]

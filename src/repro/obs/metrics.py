@@ -336,6 +336,8 @@ def cluster_metrics(cluster) -> dict:
         "bytes_written": 0,
         "bytes_evicted": 0,
         "bytes_missed": 0,
+        "prefetch_hits": 0,
+        "prefetch_bytes_read": 0,
     }
     for name in sorted(getattr(cluster, "nodes", {})):
         stats = cluster.nodes[name].cache.stats
@@ -347,10 +349,20 @@ def cluster_metrics(cluster) -> dict:
         depot["bytes_written"] += stats.bytes_written
         depot["bytes_evicted"] += stats.bytes_evicted
         depot["bytes_missed"] += stats.bytes_missed
+        depot["prefetch_hits"] += stats.prefetch_hits
+        depot["prefetch_bytes_read"] += stats.prefetch_bytes_read
     events = depot["hits"] + depot["misses"]
     depot["hit_rate"] = depot["hits"] / events if events else 0.0
+    # Prefetch consumption is deliberately outside both terms: prefetched
+    # bytes were already charged as misses at fetch time, so folding their
+    # consumption into bytes_read would double-count (see CacheStats).
     read = depot["bytes_read"] + depot["bytes_missed"]
     depot["byte_hit_rate"] = depot["bytes_read"] / read if read else 0.0
+
+    io: Dict[str, object] = {}
+    scheduler = getattr(cluster, "io_scheduler", None)
+    if scheduler is not None:
+        io = scheduler.stats.as_dict()
 
     s3: Dict[str, object] = {}
     shared = getattr(cluster, "shared", None)
@@ -376,4 +388,4 @@ def cluster_metrics(cluster) -> dict:
             "retries": m.transient_failures,
             "retry_backoff_seconds": m.retry_backoff_seconds,
         }
-    return {"depot": depot, "s3": s3}
+    return {"depot": depot, "io": io, "s3": s3}

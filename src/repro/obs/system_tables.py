@@ -75,6 +75,8 @@ def _depot_activity(cluster) -> List[tuple]:
                 stats.bytes_written,
                 stats.bytes_evicted,
                 stats.bytes_missed,
+                stats.prefetch_hits,
+                stats.prefetch_bytes_read,
                 float(stats.hit_rate),
                 float(stats.byte_hit_rate),
                 node.cache.used_bytes,
@@ -211,7 +213,8 @@ SYSTEM_TABLES: Dict[str, SystemTableDef] = {
                 ("insertions", _I), ("evictions", _I),
                 ("rejected_by_policy", _I), ("bytes_read", _I),
                 ("bytes_written", _I), ("bytes_evicted", _I),
-                ("bytes_missed", _I), ("hit_rate", _F),
+                ("bytes_missed", _I), ("prefetch_hits", _I),
+                ("prefetch_bytes_read", _I), ("hit_rate", _F),
                 ("byte_hit_rate", _F), ("used_bytes", _I),
                 ("capacity_bytes", _I), ("file_count", _I),
             ),

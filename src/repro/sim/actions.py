@@ -120,6 +120,57 @@ class Query:
 
 
 @dataclass(frozen=True)
+class FetchStorm:
+    """Cold-depot fetch storm: clear every up node's depot, then drive the
+    same full scan several times so the I/O scheduler's parallel batch path
+    (dedupe, coalescing, peer fetch, prefetch) runs hot on every node at
+    once.  Results are diffed against the oracle per round, and the
+    scheduler's own mid-batch accounting feeds the ``io-batch-sanity``
+    invariant (no double-fetch within a batch, depot capacity respected
+    *during* parallel fetches)."""
+
+    sql: str
+    rounds: int = 2
+
+    name = "fetch_storm"
+
+    def detail(self) -> str:
+        return f"{self.sql} x{self.rounds}"
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        up = sorted(n.name for n in cluster.up_nodes())
+        if not up:
+            return "refused"
+        for name in up:
+            cluster.nodes[name].cache.clear()
+        expected = world.oracle.query_rows(self.sql)
+        for _ in range(self.rounds):
+            try:
+                actual = rows_key(cluster.query(self.sql))
+            except TransientStorageError:
+                return "gave_up_transient"
+            except ObjectNotFound as exc:
+                raise InvariantViolation(
+                    "catalog-storage",
+                    world.seed,
+                    world.step,
+                    f"fetch storm {self.sql!r} read a missing object: {exc}",
+                )
+            if actual != expected:
+                raise InvariantViolation(
+                    "oracle-equivalence",
+                    world.seed,
+                    world.step,
+                    f"storm {self.sql!r}: cluster={actual[:4]} "
+                    f"oracle={expected[:4]}",
+                )
+        return "ok"
+
+
+@dataclass(frozen=True)
 class DmlStatement:
     """A DELETE or UPDATE mirrored onto the oracle, row counts compared."""
 

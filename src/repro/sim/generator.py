@@ -71,6 +71,7 @@ class ScenarioGenerator:
             (4.0, self._mergeout),
             (7.0, self._advance_clock),
             (6.0, self._burst),
+            (3.0, self._fetch_storm),
         ]
         if cluster.shut_down:
             # Nothing sensible left but letting time pass; the harness
@@ -116,6 +117,15 @@ class ScenarioGenerator:
             template.format(table=world.table, cut=self._cut()),
             crunch=mode,
             nodes_per_shard=2,
+        )
+
+    def _fetch_storm(self, world) -> act.FetchStorm:
+        # Full-scan templates only (the first four have no WHERE): the
+        # point is a cold-depot batch over every container of the table.
+        template = self.QUERY_POOL[self.rng.randrange(4)]
+        rounds = max(2, len(world.cluster.up_nodes()))
+        return act.FetchStorm(
+            template.format(table=world.table, cut=0), rounds=rounds
         )
 
     def _dml(self, world):

@@ -108,6 +108,29 @@ def cache_capacity(world) -> Optional[str]:
     return None
 
 
+def io_batch_sanity(world) -> Optional[str]:
+    """The parallel fetch scheduler never fetched the same key twice within
+    one batch, and no depot put mid-batch left ``used_bytes`` over capacity.
+
+    Reads the scheduler's cumulative counters out-of-band: the scheduler
+    checks :meth:`FileCache.capacity_violation` after *every* put inside a
+    batch, so a violation that a later eviction would mask still counts —
+    this is the "capacity holds *during* parallel fetches" check, stronger
+    than the post-step :func:`cache_capacity` scan."""
+    scheduler = getattr(world.cluster, "io_scheduler", None)
+    if scheduler is None:
+        return None
+    stats = scheduler.stats
+    if stats.double_fetches:
+        return f"{stats.double_fetches} object(s) fetched twice within a batch"
+    if stats.capacity_violations:
+        return (
+            f"{stats.capacity_violations} depot capacity violation(s) "
+            "observed mid-batch"
+        )
+    return None
+
+
 def clock_monotone(world) -> Optional[str]:
     """Simulated time never runs backwards."""
     clock = world.clock
@@ -141,6 +164,7 @@ DEFAULT_INVARIANTS: Tuple[Tuple[str, Invariant], ...] = (
     ("catalog-storage", catalog_storage_consistency),
     ("no-leaked-objects", no_leaked_objects),
     ("cache-capacity", cache_capacity),
+    ("io-batch-sanity", io_batch_sanity),
     ("clock-monotone", clock_monotone),
     ("catalog-version-sync", catalog_versions_in_step),
 )

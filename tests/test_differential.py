@@ -6,6 +6,7 @@ three must agree — a broad net over the scan/filter/aggregate/segmentation
 pipeline that hand-written cases cannot match.
 """
 
+import hashlib
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -149,3 +150,93 @@ class TestDifferential:
         assert got_eon == expected, f"Eon diverged on: {sql}"
         got_ent = canon(ent.query(sql).rows.to_pylist())
         assert got_ent == expected, f"Enterprise diverged on: {sql}"
+
+
+# -- TPC-H subset: depot temperature x I/O scheduler must not matter ----------
+
+
+def row_digest(rows: List[tuple]) -> str:
+    """Order-insensitive row-level digest of a canonicalized result."""
+    return hashlib.sha256(
+        repr(sorted(canon(rows), key=repr)).encode()
+    ).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def tpch_pair():
+    """Two identically-seeded Eon TPC-H clusters: scheduler on and off.
+
+    Tables are loaded in slices so each shard holds several containers —
+    the shape that exercises dedup, coalescing, and prefetch."""
+    from repro.workloads.tpch import TpchData, load_tpch, setup_tpch_schema
+
+    data = TpchData.generate(scale=0.002, seed=42)
+    pair = []
+    for parallel_io in (True, False):
+        cluster = EonCluster(
+            ["n1", "n2", "n3"], shard_count=3, seed=11,
+            parallel_io=parallel_io,
+        )
+        setup_tpch_schema(cluster)
+        load_tpch(cluster, data)
+        rows = data.tables["lineitem"].to_pylist()
+        for slice_no in range(3):  # extra slices => more containers
+            chunk = rows[slice_no::7][:40]
+            if chunk:
+                cluster.load("lineitem", chunk)
+        pair.append(cluster)
+    return pair
+
+
+@pytest.mark.slow
+class TestTpchSchedulerDifferential:
+    """Cold vs warm depots, scheduler on vs off: all four runs of every
+    query must return identical rows and row digests."""
+
+    QUERIES = (1, 3, 5, 6, 10, 12)
+
+    def _subset(self):
+        from repro.workloads.tpch import TPCH_QUERIES
+
+        return [q for q in TPCH_QUERIES if q.number in self.QUERIES]
+
+    def test_four_way_agreement(self, tpch_pair):
+        on, off = tpch_pair
+        for query in self._subset():
+            digests = {}
+            for label, cluster in (("on", on), ("off", off)):
+                for node in cluster.nodes.values():
+                    node.cache.clear()
+                cold = cluster.query(query.sql).rows.to_pylist()
+                warm = cluster.query(query.sql).rows.to_pylist()
+                digests[f"{label}-cold"] = row_digest(cold)
+                digests[f"{label}-warm"] = row_digest(warm)
+                assert canon(cold) == canon(warm), (
+                    f"Q{query.number}: depot temperature changed rows "
+                    f"(scheduler {label})"
+                )
+            assert len(set(digests.values())) == 1, (
+                f"Q{query.number}: digests diverged: {digests}"
+            )
+
+    def test_warm_runs_stay_off_shared_storage(self, tpch_pair):
+        on, _ = tpch_pair
+        query = self._subset()[0]
+        on.query(query.sql)  # ensure warm
+        stats = on.query(query.sql).stats
+        assert stats.total_bytes_from_shared == 0
+        assert stats.total_prefetch_hits == 0  # nothing left to prefetch
+
+    def test_scheduler_spends_fewer_gets_cold(self, tpch_pair):
+        on, off = tpch_pair
+        query = self._subset()[0]
+        deltas = []
+        for cluster in (on, off):
+            for node in cluster.nodes.values():
+                node.cache.clear()
+            before = cluster.shared.metrics.get_requests
+            cluster.query(query.sql)
+            deltas.append(cluster.shared.metrics.get_requests - before)
+        assert deltas[0] < deltas[1], (
+            f"scheduler-on used {deltas[0]} GETs, off used {deltas[1]}"
+        )

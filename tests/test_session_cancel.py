@@ -27,6 +27,46 @@ class TestCancellation:
         session.release()
 
     def test_cancel_mid_scan(self, cluster, monkeypatch):
+        """Cancellation arriving between shared-storage reads aborts the
+        query at the next fetch-unit boundary of the I/O scheduler."""
+        from repro.shared_storage.s3 import SimulatedS3
+
+        for node in cluster.nodes.values():
+            node.cache.clear()  # cold depots: the scan must go to S3
+        session = cluster.create_session(seed=1)
+        calls = {"n": 0}
+        original_read = SimulatedS3.read
+        original_coalesced = SimulatedS3.read_coalesced
+
+        def note_call():
+            calls["n"] += 1
+            if calls["n"] == 2:
+                session.cancel()  # cancellation arrives between file reads
+
+        def cancelling_read(fs, name):
+            note_call()
+            return original_read(fs, name)
+
+        def cancelling_coalesced(fs, names):
+            note_call()
+            return original_coalesced(fs, names)
+
+        monkeypatch.setattr(SimulatedS3, "read", cancelling_read)
+        monkeypatch.setattr(SimulatedS3, "read_coalesced", cancelling_coalesced)
+        with pytest.raises(QueryCancelled):
+            cluster.query_statement(
+                parse("select count(*) from t")[0], session=session
+            )
+        session.release()
+
+    def test_cancel_mid_scan_serial_path(self, monkeypatch):
+        """The pre-scheduler per-file path stays cancellable too."""
+        cluster = EonCluster(
+            ["n1", "n2", "n3"], shard_count=3, seed=17, parallel_io=False
+        )
+        cluster.execute("create table t (a int, b varchar)")
+        for batch in range(4):
+            cluster.load("t", [(batch * 100 + i, "x") for i in range(100)])
         session = cluster.create_session(seed=1)
         calls = {"n": 0}
         original = type(cluster.nodes["n1"]).fetch_storage

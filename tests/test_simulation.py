@@ -84,7 +84,7 @@ class TestCampaigns:
         expected = {
             "copy", "query", "dml", "kill", "recover", "s3_burst",
             "subscribe", "unsubscribe", "maintenance", "mergeout", "revive",
-            "pin", "query_pinned",
+            "pin", "query_pinned", "fetch_storm",
         }
         assert expected <= seen, f"missing actions: {expected - seen}"
 
