@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: default test test-fast lint sim-smoke sim-campaign bench bench-smoke obs-demo
+.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke bench bench-smoke obs-demo
 
 # Default flow: lint, then the tier-1 suite.
 default: lint test
@@ -11,7 +11,7 @@ test:
 
 # Inner-loop subset: everything except the sim campaigns and slow sweeps.
 test-fast:
-	$(PY) -m pytest -x -q -m "not sim and not slow"
+	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos"
 
 # Lint with ruff when available; fall back to a syntax sweep (compileall)
 # so `make lint` is meaningful in offline environments without ruff.
@@ -26,6 +26,11 @@ lint:
 # Quick simulation confidence check: the seeded multi-seed campaigns only.
 sim-smoke:
 	$(PY) -m pytest tests/test_simulation.py -m sim -q
+
+# Recovery-path confidence check: the chaos-boosted campaigns
+# (mid-query failover, S3 outage windows, rebalancer) only.
+chaos-smoke:
+	$(PY) -m pytest tests/test_chaos.py -m chaos -q
 
 # Longer chaos run straight from the CLI (prints per-seed digests).
 sim-campaign:

@@ -61,10 +61,13 @@ from repro.errors import (
     NodeDown,
     QuorumLost,
     ShardCoverageLost,
+    StorageUnavailable,
+    TransientStorageError,
 )
 from repro.io.scheduler import IOScheduler, IOSchedulerConfig
 from repro.obs import Observability, QueryProfile, RequestRecord
 from repro.obs.system_tables import bind_system_tables, system_tables_referenced
+from repro.recovery import FailoverPolicy, RebalanceReport, SubscriptionRebalancer
 from repro.sharding.assignment import select_participating_subscriptions
 from repro.sharding.shard import REPLICA_SHARD_ID, ShardMap
 from repro.sharding.subscription import SubscriptionState, validate_transition
@@ -143,6 +146,23 @@ class EonCluster:
         #: database's shared storage (section 10).
         self.read_only = False
         self._source_incarnation: Optional[str] = None
+        #: Session-level query failover bounds (repro.recovery).
+        self.failover_policy = FailoverPolicy()
+        self.failovers = 0
+        #: Degraded read-only mode: entered while shared storage is in a
+        #: sustained outage window, exited when the window lapses.  The
+        #: entry/exit counters are the pairing invariant's observables.
+        self.degraded = False
+        self.degraded_entries = 0
+        self.degraded_exits = 0
+        #: Set by ServiceScheduler.__init__ so v_monitor can reach service
+        #: stats without the cluster owning a scheduler.
+        self.service_scheduler = None
+        # Outage windows are clock-driven; bind the cluster clock to the
+        # backend's fault injector when it has one.
+        faults = getattr(self.shared, "faults", None)
+        if faults is not None and hasattr(faults, "bind_clock"):
+            faults.bind_clock(self.clock)
         if _bootstrap:
             self._bootstrap()
 
@@ -308,6 +328,36 @@ class EonCluster:
                     f"shard {shard_id} has no up ACTIVE subscriber"
                 )
 
+    # -- degraded mode (sustained shared-storage outage) ---------------------------
+
+    def refresh_degraded(self) -> bool:
+        """Fold the shared-storage outage flag into cluster state.
+
+        Entry and exit are deterministic — purely a function of the sim
+        clock against the declared outage window, never of RNG state or
+        poll ordering — and always paired: the flag cannot flip the same
+        way twice in a row, so ``degraded_entries`` and ``degraded_exits``
+        differ by at most one (the pairing invariant the sim checks).
+
+        While degraded the cluster is read-only over depot-resident data:
+        commits and loads fail fast with :class:`StorageUnavailable`, and
+        the maintenance services pause instead of burning error counters.
+        """
+        outage = bool(getattr(self.shared, "outage_active", False))
+        if outage and not self.degraded:
+            self.degraded = True
+            self.degraded_entries += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("recovery.degraded_entries").inc()
+                self.obs.tracer.record("degraded.enter", t=self.clock.now)
+        elif not outage and self.degraded:
+            self.degraded = False
+            self.degraded_exits += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("recovery.degraded_exits").inc()
+                self.obs.tracer.record("degraded.exit", t=self.clock.now)
+        return self.degraded
+
     # -- transactions ----------------------------------------------------------------
 
     def begin(self) -> Transaction:
@@ -320,6 +370,14 @@ class EonCluster:
             raise ClusterError(
                 "this is a read-only sharing cluster; writes must go "
                 "through the primary"
+            )
+        if self.refresh_degraded():
+            # Degraded read-only mode: commit durability rests on shared
+            # storage (Figure 8's upload-before-commit), which is out.
+            # Fail fast rather than retrying into a declared outage.
+            raise StorageUnavailable(
+                "cluster is in degraded read-only mode during a "
+                "shared-storage outage; writes are rejected"
             )
         if epoch is None:
             epoch = int(self.clock.now)
@@ -703,45 +761,102 @@ class EonCluster:
         statement,
         session: Optional[EonSession] = None,
         request_text: Optional[str] = None,
+        failover: Optional[bool] = None,
         **session_options,
     ) -> QueryResult:
         if session is None and session_options.get("crunch") == "auto":
             session_options["crunch"] = self._choose_crunch_mode(
                 statement, **{k: v for k, v in session_options.items() if k != "crunch"}
             )
-        own_session = session is None
-        if session is None:
-            session = self.create_session(**session_options)
-        try:
-            snapshot = session.snapshots[session.initiator]
-            state = snapshot.state
-            provider: object = EonStorageProvider(session)
-            # ``v_monitor.*`` references get virtual tables injected into a
-            # copy of the snapshot state; binding/planning then proceed as
-            # for any other table.
-            system_names = system_tables_referenced(statement)
-            if system_names:
-                state, provider = bind_system_tables(
-                    self, state, provider, system_names
-                )
-            bound = bind_select(statement, state)
-            plan = plan_query(bound, state)
-            # Monitor queries are not themselves recorded: profiling the
-            # profiler would recurse (this query would appear in the very
-            # tables it reads, mid-materialization).
-            record = self.obs.enabled and not system_names
-            executor = Executor(
-                provider, self.cost_model, obs=self.obs if record else None
-            )
-            if not record:
-                return executor.execute(plan)
-            return self._record_query(statement, session, executor, plan, request_text)
-        finally:
+        # Failover defaults on for cluster-owned sessions (the caller never
+        # saw the participant list, so re-selecting it is transparent).  An
+        # explicitly passed session opts in with ``failover=True``; retries
+        # then run on fresh sessions while the caller's stays theirs to
+        # release.
+        if failover is None:
+            failover = session is None
+        policy = self.failover_policy
+        attempt = 0
+        penalty = 0.0
+        current = session
+        while True:
+            own_session = current is None
             if own_session:
-                session.release()
+                current = self.create_session(**session_options)
+            try:
+                return self._execute_statement(
+                    statement, current, request_text, penalty
+                )
+            except (NodeDown, TransientStorageError) as exc:
+                attempt += 1
+                if (
+                    not failover
+                    or self.shut_down
+                    or attempt >= policy.max_attempts
+                    or (isinstance(exc, NodeDown) and self.uncovered_shards())
+                ):
+                    raise
+                # Session-level failover: a participant died mid-query (or a
+                # shard's reads exhausted their retries) but the surviving up
+                # ACTIVE subscribers still cover every shard, so re-select
+                # participating subscriptions and re-execute.  The backoff is
+                # charged to the query's cost-model latency, not wall-clock.
+                penalty += policy.backoff_for(attempt)
+                self.failovers += 1
+                if self.obs.enabled:
+                    self.obs.metrics.counter("recovery.failovers").inc()
+                    self.obs.tracer.record(
+                        "query.failover",
+                        attempt=attempt,
+                        error=type(exc).__name__,
+                        initiator=current.initiator,
+                    )
+            finally:
+                if own_session:
+                    current.release()
+            current = None
+
+    def _execute_statement(
+        self, statement, session, request_text: Optional[str], penalty: float = 0.0
+    ) -> QueryResult:
+        """One execution attempt against an already-selected session."""
+        snapshot = session.snapshots[session.initiator]
+        state = snapshot.state
+        provider: object = EonStorageProvider(session)
+        # ``v_monitor.*`` references get virtual tables injected into a
+        # copy of the snapshot state; binding/planning then proceed as
+        # for any other table.
+        system_names = system_tables_referenced(statement)
+        if system_names:
+            state, provider = bind_system_tables(
+                self, state, provider, system_names
+            )
+        bound = bind_select(statement, state)
+        plan = plan_query(bound, state)
+        # Monitor queries are not themselves recorded: profiling the
+        # profiler would recurse (this query would appear in the very
+        # tables it reads, mid-materialization).
+        record = self.obs.enabled and not system_names
+        executor = Executor(
+            provider, self.cost_model, obs=self.obs if record else None
+        )
+        if not record:
+            result = executor.execute(plan)
+            if penalty:
+                result.stats.dispatch_seconds += penalty
+            return result
+        return self._record_query(
+            statement, session, executor, plan, request_text, penalty
+        )
 
     def _record_query(
-        self, statement, session, executor, plan, request_text: Optional[str]
+        self,
+        statement,
+        session,
+        executor,
+        plan,
+        request_text: Optional[str],
+        penalty: float = 0.0,
     ) -> QueryResult:
         """Execute under a ``query`` span and log request/profile records."""
         obs = self.obs
@@ -757,6 +872,10 @@ class EonCluster:
             "query", request_id=request_id, initiator=session.initiator
         ) as span:
             result = executor.execute(plan)
+            # Failover backoff from earlier attempts lands in dispatch
+            # time, so the recorded latency covers the whole retry story.
+            if penalty:
+                result.stats.dispatch_seconds += penalty
             # Queries don't advance the sim clock; the cost model's latency
             # is the query's duration.
             span.duration = result.stats.latency_seconds
@@ -964,6 +1083,14 @@ class EonCluster:
                 f"cannot unsubscribe {node_name} from shard {shard_id}: "
                 "no other ACTIVE subscriber"
             )
+        self._drop_subscription(node_name, shard_id)
+
+    def _drop_subscription(self, node_name: str, shard_id: int) -> None:
+        """Complete a removal: drop cached files, commit the drop, trim the
+        node's copy of the shard's metadata, checkpoint.  Shared by
+        ``unsubscribe`` and by recovery of a node that died mid-unsubscribe
+        (its REMOVING subscription is finished here, since REMOVING ->
+        PENDING is not a legal Figure-4 transition)."""
         node = self.nodes[node_name]
         state = node.catalog.state
         for sid, container in list(state.containers.items()):
@@ -1015,18 +1142,48 @@ class EonCluster:
         node.state = NodeState.UP
         # Forced re-subscription: ACTIVE -> PENDING -> PASSIVE -> (warm) -> ACTIVE.
         state = self.any_up_node().catalog.state
-        shards = sorted(
-            shard for (n, shard), st in state.subscriptions.items() if n == name
-        )
+        sub_states = {
+            shard: SubscriptionState(st)
+            for (n, shard), st in state.subscriptions.items()
+            if n == name
+        }
         reports: Dict[int, Optional[WarmingReport]] = {}
-        for shard_id in shards:
-            self._commit_sub_state(name, shard_id, SubscriptionState.PENDING)
+        for shard_id in sorted(sub_states):
+            current = sub_states[shard_id]
+            if current is SubscriptionState.REMOVING:
+                # The node died mid-unsubscribe.  REMOVING -> PENDING is
+                # not a legal Figure-4 transition: when the shard is
+                # covered without this node, finish what the unsubscribe
+                # started; otherwise abandon the removal (REMOVING ->
+                # ACTIVE) and re-subscribe normally.
+                if [
+                    n
+                    for n in self.active_up_subscribers(shard_id)
+                    if n != name
+                ]:
+                    self._drop_subscription(name, shard_id)
+                    continue
+                self._commit_sub_state(name, shard_id, SubscriptionState.ACTIVE)
+                current = SubscriptionState.ACTIVE
+            if current is SubscriptionState.PENDING:
+                # Crashed mid-subscribe: the metadata transfer may never
+                # have happened, so backfill before going PASSIVE.
+                self._backfill_shard_metadata(node, shard_id)
+            else:
+                self._commit_sub_state(name, shard_id, SubscriptionState.PENDING)
             self._commit_sub_state(name, shard_id, SubscriptionState.PASSIVE)
             reports[shard_id] = (
                 self._warm_cache_from_peer(node, shard_id) if warm_cache else None
             )
             self._commit_sub_state(name, shard_id, SubscriptionState.ACTIVE)
         return reports
+
+    def rebalance_subscriptions(self, warm_cache: bool = True) -> RebalanceReport:
+        """One pass of the subscription rebalancer (section 6.4): promote
+        or subscribe spare nodes until every shard has its configured
+        number of up ACTIVE subscribers.  Also run periodically by
+        :class:`~repro.cluster.services.ServiceScheduler`."""
+        return SubscriptionRebalancer(self, warm_cache=warm_cache).run()
 
     # -- elasticity -----------------------------------------------------------------------------------
 

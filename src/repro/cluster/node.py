@@ -79,7 +79,13 @@ class Node:
             self.catalog = Catalog(
                 self.local_fs, subscribed_shards=self.catalog.subscribed_shards
             )
-            self.cache = FileCache(self.local_fs, self.cache_bytes, self.cache.policy)
+            # A fresh policy *instance*, not the dead incarnation's object:
+            # any per-entry state the policy carries (recency, frequency,
+            # pin counts) describes files that no longer exist on the
+            # replacement disk.
+            self.cache = FileCache(
+                self.local_fs, self.cache_bytes, type(self.cache.policy)()
+            )
 
     def restart(self) -> None:
         """Bring the process back up: new instance id, catalog recovered
@@ -109,10 +115,16 @@ class Node:
         if data is not None:
             self.cache_reads += 1
             return data, True, self.local_fs.estimate_read_seconds(len(data))
+        backoff_before = shared.metrics.retry_backoff_seconds
         data = retrying(lambda: shared.read(name), shared.metrics)
         self.shared_reads += 1
         self.cache.note_miss_bytes(len(data))
-        io_seconds = shared.estimate_read_seconds(len(data))
+        # Retry backoff is query time, not just a metrics line: fold it
+        # into this fetch's I/O seconds so a throttled scan reports higher
+        # latency than an unthrottled one.
+        io_seconds = shared.estimate_read_seconds(len(data)) + (
+            shared.metrics.retry_backoff_seconds - backoff_before
+        )
         if use_cache:
             self.cache.put(name, data, info=info)
         return data, False, io_seconds
@@ -130,8 +142,12 @@ class Node:
         self.ensure_up()
         if use_cache:
             self.cache.put(name, data, info=info)
+        backoff_before = shared.metrics.retry_backoff_seconds
         retrying(lambda: shared.write(name, data), shared.metrics)
-        return shared.estimate_write_seconds(len(data))
+        # As in fetch_storage: throttled uploads cost simulated time.
+        return shared.estimate_write_seconds(len(data)) + (
+            shared.metrics.retry_backoff_seconds - backoff_before
+        )
 
     def __repr__(self) -> str:
         return f"Node({self.name}, {self.state.value})"

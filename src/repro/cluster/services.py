@@ -4,10 +4,21 @@ The paper describes several services that "wake up" on intervals: the
 catalog sync ("each node ... independently uploads them to shared storage
 on a regular, configurable interval", §3.5), the truncation-version /
 cluster_info writer (§3.5), mergeout (§6.2), and file reaping (§6.5).
+PR 4 adds the rebalance process (§6.4) as a fifth service: it detects
+uncovered and under-subscribed shards and promotes or subscribes spare
+nodes automatically.
 
 :class:`ServiceScheduler` drives them from the simulated clock, so long
 DES runs (like the Figure-12 timeline) execute maintenance at realistic
 cadence, and tests can single-step with :meth:`tick`.
+
+Failure handling: a failing service must not kill its loop, but it must
+not be invisible either.  Every swallowed :class:`ReproError` is recorded
+per service (``error_counts`` / ``last_errors``), emitted as a
+``services.errors{service=...}`` counter, and surfaced through the
+``v_monitor.services`` system table.  During a shared-storage outage the
+services *pause* (``skipped_outage``) instead of burning error counters —
+a declared outage is a cluster state, not a service failure.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ from typing import Dict, List, Optional
 from repro.common.clock import Timeout
 from repro.errors import ReproError
 from repro.obs.tracing import NULL_TRACER
+from repro.recovery import SubscriptionRebalancer
 from repro.tuple_mover import MergeoutCoordinatorService
 
 
@@ -29,6 +41,7 @@ class ServiceIntervals:
     cluster_info: Optional[float] = 300.0
     mergeout: Optional[float] = 120.0
     reaper: Optional[float] = 300.0
+    rebalance: Optional[float] = 60.0
 
 
 @dataclass
@@ -37,7 +50,12 @@ class ServiceStats:
     cluster_info_writes: int = 0
     mergeout_jobs: int = 0
     files_reaped: int = 0
+    rebalance_runs: int = 0
+    rebalance_promotions: int = 0
+    rebalance_subscriptions: int = 0
     errors: int = 0
+    #: Service runs skipped because the cluster was degraded (S3 outage).
+    skipped_outage: int = 0
 
 
 class ServiceScheduler:
@@ -47,8 +65,16 @@ class ServiceScheduler:
         self.cluster = cluster
         self.intervals = intervals or ServiceIntervals()
         self.mergeout_service = MergeoutCoordinatorService(cluster)
+        self.rebalancer = SubscriptionRebalancer(cluster)
         self.stats = ServiceStats()
+        #: Per-service visibility for permanently failing services: total
+        #: runs, swallowed-error counts, and the text of the last error.
+        self.run_counts: Dict[str, int] = {}
+        self.error_counts: Dict[str, int] = {}
+        self.last_errors: Dict[str, str] = {}
         self._running = False
+        # Registered so v_monitor.services can find the stats.
+        cluster.service_scheduler = self
 
     # -- single-step (tests and synchronous callers) -----------------------------
 
@@ -58,45 +84,102 @@ class ServiceScheduler:
         self.run_cluster_info()
         self.run_mergeout()
         self.run_reaper()
+        self.run_rebalancer()
         return self.stats
 
     def _tracer(self):
         obs = getattr(self.cluster, "obs", None)
         return obs.tracer if obs is not None else NULL_TRACER
 
+    def _paused(self, service: str) -> bool:
+        """True while the cluster is degraded: services pause rather than
+        fail (their S3 requests would all be rejected anyway)."""
+        refresh = getattr(self.cluster, "refresh_degraded", None)
+        if refresh is None or not refresh():
+            return False
+        self.stats.skipped_outage += 1
+        if getattr(self.cluster, "obs", None) is not None and self.cluster.obs.enabled:
+            self.cluster.obs.metrics.counter(
+                "services.skipped_outage", service=service
+            ).inc()
+        return True
+
+    def _note_error(self, service: str, error: ReproError) -> None:
+        self.stats.errors += 1
+        self.error_counts[service] = self.error_counts.get(service, 0) + 1
+        self.last_errors[service] = f"{type(error).__name__}: {error}"
+        obs = getattr(self.cluster, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.metrics.counter("services.errors", service=service).inc()
+
+    def _note_run(self, service: str) -> None:
+        self.run_counts[service] = self.run_counts.get(service, 0) + 1
+
     def run_catalog_sync(self) -> None:
+        if self._paused("catalog_sync"):
+            return
+        self._note_run("catalog_sync")
         try:
             with self._tracer().span("service.catalog_sync"):
                 self.cluster.sync_catalogs(include_checkpoint=True)
             self.stats.sync_runs += 1
-        except ReproError:
-            self.stats.errors += 1
+        except ReproError as exc:
+            self._note_error("catalog_sync", exc)
 
     def run_cluster_info(self) -> None:
+        if self._paused("cluster_info"):
+            return
+        self._note_run("cluster_info")
         try:
             with self._tracer().span("service.cluster_info"):
                 self.cluster.write_cluster_info()
             self.stats.cluster_info_writes += 1
-        except ReproError:
-            self.stats.errors += 1
+        except ReproError as exc:
+            self._note_error("cluster_info", exc)
 
     def run_mergeout(self) -> None:
+        if self._paused("mergeout"):
+            return
+        self._note_run("mergeout")
         try:
             with self._tracer().span("service.mergeout") as span:
                 report = self.mergeout_service.run_all(max_jobs_per_shard=4)
                 span.annotate(jobs=report.jobs_run)
             self.stats.mergeout_jobs += report.jobs_run
-        except ReproError:
-            self.stats.errors += 1
+        except ReproError as exc:
+            self._note_error("mergeout", exc)
 
     def run_reaper(self) -> None:
+        if self._paused("reaper"):
+            return
+        self._note_run("reaper")
         try:
             with self._tracer().span("service.reaper") as span:
                 reaped = self.cluster.reaper.poll()
                 span.annotate(deleted=reaped.deleted)
             self.stats.files_reaped += reaped.deleted
-        except ReproError:
-            self.stats.errors += 1
+        except ReproError as exc:
+            self._note_error("reaper", exc)
+
+    def run_rebalancer(self) -> None:
+        """The rebalance process (§6.4) as a periodic service: restore
+        shard coverage and fault tolerance after node failures without
+        waiting for an operator."""
+        if self._paused("rebalance"):
+            return
+        self._note_run("rebalance")
+        try:
+            with self._tracer().span("service.rebalance") as span:
+                report = self.rebalancer.run()
+                span.annotate(
+                    promoted=len(report.promoted),
+                    subscribed=len(report.subscribed),
+                )
+            self.stats.rebalance_runs += 1
+            self.stats.rebalance_promotions += len(report.promoted)
+            self.stats.rebalance_subscriptions += len(report.subscribed)
+        except ReproError as exc:
+            self._note_error("rebalance", exc)
 
     # -- clock-driven operation --------------------------------------------------
 
@@ -126,6 +209,7 @@ class ServiceScheduler:
             (self.intervals.cluster_info, self.run_cluster_info),
             (self.intervals.mergeout, self.run_mergeout),
             (self.intervals.reaper, self.run_reaper),
+            (self.intervals.rebalance, self.run_rebalancer),
         ]
         for interval, action in pairs:
             if interval is not None:

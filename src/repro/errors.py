@@ -45,6 +45,16 @@ class TransientStorageError(StorageError):
     """
 
 
+class StorageUnavailable(StorageError):
+    """Shared storage is in a sustained outage window.
+
+    Unlike :class:`TransientStorageError`, this is *not* retried: during a
+    declared outage every request would fail, so the retry loop fails fast
+    and the cluster drops into degraded read-only mode instead (serving
+    depot-resident data, rejecting writes with this error).
+    """
+
+
 class ClusterError(ReproError):
     """Cluster-level failure (quorum loss, shard coverage loss, ...)."""
 

@@ -333,6 +333,7 @@ class IOScheduler:
         durations: List[float] = []
         fetched_keys: Set[str] = set()
         total_fetched_bytes = 0
+        backoff_before = shared.metrics.retry_backoff_seconds
         for kind, peer, members in units:
             if cancelled is not None and cancelled():
                 raise QueryCancelled(
@@ -418,7 +419,13 @@ class IOScheduler:
                 )
 
         makespan, lane_totals = clock.charge_parallel(durations, config.lanes)
-        result.io_seconds += makespan + hit_seconds
+        # Retry backoff accumulated by this batch's units is query time —
+        # fold it into the batch's I/O seconds (serially: backoff stalls
+        # the retry loop, not a lane) so throttled scans report higher
+        # latency, matching the serial fetch path's accounting.
+        result.io_seconds += makespan + hit_seconds + (
+            shared.metrics.retry_backoff_seconds - backoff_before
+        )
         self.stats.fetched_files += len(fetched_keys)
         self.stats.fetched_bytes += total_fetched_bytes
         if obs.enabled:

@@ -388,4 +388,15 @@ def cluster_metrics(cluster) -> dict:
             "retries": m.transient_failures,
             "retry_backoff_seconds": m.retry_backoff_seconds,
         }
-    return {"depot": depot, "io": io, "s3": s3}
+
+    recovery: Dict[str, object] = {
+        "failovers": getattr(cluster, "failovers", 0),
+        "degraded": bool(getattr(cluster, "degraded", False)),
+        "degraded_entries": getattr(cluster, "degraded_entries", 0),
+        "degraded_exits": getattr(cluster, "degraded_exits", 0),
+    }
+    faults = getattr(shared, "faults", None) if shared is not None else None
+    if faults is not None:
+        recovery["outages_begun"] = getattr(faults, "outages_begun", 0)
+        recovery["outage_rejections"] = getattr(faults, "outage_rejections", 0)
+    return {"depot": depot, "io": io, "s3": s3, "recovery": recovery}

@@ -203,6 +203,25 @@ def _dc_storage_operations(cluster) -> List[tuple]:
     return rows
 
 
+def _services(cluster) -> List[tuple]:
+    # Served from the scheduler the cluster registered (if any); a cluster
+    # running without background services reports an empty table rather
+    # than failing the bind.
+    scheduler = getattr(cluster, "service_scheduler", None)
+    if scheduler is None:
+        return []
+    names = set(scheduler.run_counts) | set(scheduler.error_counts)
+    return [
+        (
+            name,
+            scheduler.run_counts.get(name, 0),
+            scheduler.error_counts.get(name, 0),
+            scheduler.last_errors.get(name, ""),
+        )
+        for name in sorted(names)
+    ]
+
+
 SYSTEM_TABLES: Dict[str, SystemTableDef] = {
     d.name: d
     for d in (
@@ -260,6 +279,14 @@ SYSTEM_TABLES: Dict[str, SystemTableDef] = {
                 ("shared_reads", _I),
             ),
             _resource_usage,
+        ),
+        SystemTableDef(
+            "services",
+            _schema(
+                ("service", _S), ("runs", _I), ("errors", _I),
+                ("last_error", _S),
+            ),
+            _services,
         ),
         SystemTableDef(
             "dc_storage_operations",

@@ -66,6 +66,20 @@ _TRANSITIONS: Dict[Optional[SubscriptionState], FrozenSet[Optional[SubscriptionS
 }
 
 
+def can_transition(
+    current: Optional[SubscriptionState], target: Optional[SubscriptionState]
+) -> bool:
+    """True when ``current -> target`` is a legal Figure-4 transition.
+
+    Recovery and rebalancing code branches on this instead of trying a
+    transition and catching ``ValueError`` — e.g. a node that died
+    mid-unsubscribe holds a REMOVING subscription, for which the recovery
+    path ``-> PENDING`` is illegal and the removal must instead be
+    completed or abandoned (``-> ACTIVE``).
+    """
+    return target in _TRANSITIONS[current]
+
+
 def validate_transition(
     current: Optional[SubscriptionState], target: Optional[SubscriptionState]
 ) -> None:

@@ -97,6 +97,13 @@ class Filesystem(abc.ABC):
     #: coalesced groups against backends that advertise support.
     supports_coalesced_get = False
 
+    #: True while the backend is in a sustained outage window (every
+    #: request raises :class:`~repro.errors.StorageUnavailable`).  Plain
+    #: backends never are; fault-injecting backends override this, and
+    #: decorators delegate it, so callers can probe reachability out of
+    #: band without spending a request.
+    outage_active = False
+
     def read_coalesced(self, names: List[str]) -> Dict[str, bytes]:
         """Fetch several objects as one logical request.
 
@@ -198,6 +205,10 @@ class RetryingFilesystem(Filesystem):
     def supports_coalesced_get(self) -> bool:
         return self._base.supports_coalesced_get
 
+    @property
+    def outage_active(self) -> bool:
+        return self._base.outage_active
+
     def read_coalesced(self, names: List[str]) -> Dict[str, bytes]:
         return self._retry(lambda: self._base.read_coalesced(names))
 
@@ -249,6 +260,10 @@ class PrefixView(Filesystem):
     @property
     def supports_coalesced_get(self) -> bool:
         return self._base.supports_coalesced_get
+
+    @property
+    def outage_active(self) -> bool:
+        return self._base.outage_active
 
     def read_coalesced(self, names: List[str]) -> Dict[str, bytes]:
         plen = len(self._prefix)

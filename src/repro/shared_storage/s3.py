@@ -25,7 +25,12 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.errors import ObjectNotFound, StorageError, TransientStorageError
+from repro.errors import (
+    ObjectNotFound,
+    StorageError,
+    StorageUnavailable,
+    TransientStorageError,
+)
 from repro.shared_storage.api import Filesystem
 
 __all__ = [
@@ -86,6 +91,14 @@ class FaultInjector:
     :meth:`begin_burst` models an S3 throttling burst or transient-fault
     storm: the failure rate jumps to ``rate`` for the next ``ops``
     requests, then falls back to the base ``failure_rate``.
+
+    :meth:`begin_outage` models a *sustained* S3 outage (the region is
+    down, not throttled): for ``seconds`` of simulated time every request
+    fails fast with :class:`~repro.errors.StorageUnavailable` — before the
+    fault RNG is consulted, so an outage window does not consume draws and
+    cannot shift later burst decisions.  The window is driven by the sim
+    clock bound via :meth:`bind_clock`; without a clock, ``begin_outage``
+    is rejected (there would be no deterministic way to end it).
     """
 
     failure_rate: float = 0.0
@@ -98,6 +111,56 @@ class FaultInjector:
         self.draws = 0
         self.injected = 0
         self._digest = hashlib.sha256()
+        self._clock = None
+        self._outage_until: Optional[float] = None
+        self.outages_begun = 0
+        self.outage_rejections = 0
+
+    # -- outage control --------------------------------------------------------
+
+    def bind_clock(self, clock) -> None:
+        """Attach the sim clock that defines outage windows."""
+        self._clock = clock
+
+    def begin_outage(self, seconds: float) -> float:
+        """Declare a sustained outage for the next ``seconds`` of sim time.
+
+        Returns the sim time at which the outage ends.  Overlapping calls
+        extend the window to the later end point rather than stacking.
+        """
+        if self._clock is None:
+            raise ValueError("begin_outage requires a bound sim clock")
+        if seconds <= 0:
+            raise ValueError("outage duration must be positive")
+        until = self._clock.now + seconds
+        if self._outage_until is None or until > self._outage_until:
+            self._outage_until = until
+        self.outages_begun += 1
+        return self._outage_until
+
+    @property
+    def outage_active(self) -> bool:
+        if self._outage_until is None or self._clock is None:
+            return False
+        if self._clock.now >= self._outage_until:
+            self._outage_until = None
+            return False
+        return True
+
+    @property
+    def outage_until(self) -> Optional[float]:
+        return self._outage_until if self.outage_active else None
+
+    def check_outage(self, operation: str) -> None:
+        """Fail fast during an outage window — *before* any RNG draw, so an
+        outage never consumes fault draws and cannot shift later burst
+        decisions."""
+        if self.outage_active:
+            self.outage_rejections += 1
+            raise StorageUnavailable(
+                f"S3 outage in progress during {operation} "
+                f"(until t={self._outage_until:.3f})"
+            )
 
     # -- burst control ---------------------------------------------------------
 
@@ -193,7 +256,10 @@ class SimulatedS3(Filesystem):
     def _maybe_fail(self, operation: str) -> None:
         """Route the fault draw through per-class accounting.  Burst state
         is sampled *before* the draw because ``maybe_fail`` decrements the
-        burst window whether or not it injects."""
+        burst window whether or not it injects.  The outage check comes
+        first of all: during a declared outage the request fails fast with
+        :class:`StorageUnavailable` and no fault draw is consumed."""
+        self.faults.check_outage(operation)
         throttling = self.faults.burst_active
         try:
             self.faults.maybe_fail(operation)
@@ -312,6 +378,10 @@ class SimulatedS3(Filesystem):
         RNG draws and change the schedule).
         """
         return sorted(n for n in self._objects if n.startswith(prefix))
+
+    @property
+    def outage_active(self) -> bool:
+        return self.faults.outage_active
 
     @property
     def object_count(self) -> int:

@@ -16,7 +16,7 @@ from repro.sim.harness import (
     replay_schedule,
     run_campaign,
 )
-from repro.sim.generator import ScenarioGenerator
+from repro.sim.generator import ChaosScenarioGenerator, ScenarioGenerator
 from repro.sim.invariants import (
     DEFAULT_INVARIANTS,
     InvariantRegistry,
@@ -29,6 +29,7 @@ from repro.sim.trace import Trace, TraceEvent
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
+    "ChaosScenarioGenerator",
     "DEFAULT_INVARIANTS",
     "InvariantRegistry",
     "InvariantViolation",

@@ -13,6 +13,10 @@ shrinking can drop steps without changing what the remaining steps do.
 * ``"refused"`` — the cluster legitimately declined (shut down, or the
   action would destroy quorum/shard coverage);
 * ``"gave_up_transient"`` — an injected S3 fault outlived the retry loop;
+* ``"storage_unavailable"`` — the request landed in a declared S3 outage
+  window and failed fast (degraded read-only mode);
+* ``"paused_outage"`` — a maintenance action deferred itself because the
+  cluster is degraded (services pause during outages);
 * ``"shutdown"`` — the action triggered the cluster's self-shutdown.
 
 An action raises :class:`InvariantViolation` only for genuine bugs: a
@@ -28,10 +32,12 @@ from typing import List, Optional, Tuple
 from repro.errors import (
     CatalogError,
     ClusterError,
+    NodeDown,
     ObjectNotFound,
     QuorumLost,
     ReviveError,
     ShardCoverageLost,
+    StorageUnavailable,
     TransientStorageError,
 )
 from repro.sharding.shard import REPLICA_SHARD_ID
@@ -64,6 +70,10 @@ class CopyBatch:
         rows = self.rows()
         try:
             world.cluster.load(world.table, rows)
+        except StorageUnavailable:
+            # Degraded read-only mode: writes fail fast during a declared
+            # outage, whole-statement, so the oracle must not apply either.
+            return "storage_unavailable"
         except TransientStorageError:
             # Retries exhausted before the commit point: the statement
             # failed whole, so the oracle must not apply it either.  Any
@@ -99,6 +109,10 @@ class Query:
             options = {"crunch": self.crunch, "nodes_per_shard": self.nodes_per_shard}
         try:
             actual = rows_key(world.cluster.query(self.sql, **options))
+        except StorageUnavailable:
+            # Outage + depot miss: the degraded cluster can only serve
+            # depot-resident data, and this query needed more.
+            return "storage_unavailable"
         except TransientStorageError:
             return "gave_up_transient"
         except ObjectNotFound as exc:
@@ -141,6 +155,10 @@ class FetchStorm:
         cluster = world.cluster
         if cluster.shut_down:
             return "refused"
+        if cluster.refresh_degraded():
+            # A cold-depot storm during an outage would only clear the
+            # depot-resident data the degraded cluster can still serve.
+            return "refused"
         up = sorted(n.name for n in cluster.up_nodes())
         if not up:
             return "refused"
@@ -150,6 +168,8 @@ class FetchStorm:
         for _ in range(self.rounds):
             try:
                 actual = rows_key(cluster.query(self.sql))
+            except StorageUnavailable:
+                return "storage_unavailable"
             except TransientStorageError:
                 return "gave_up_transient"
             except ObjectNotFound as exc:
@@ -186,6 +206,8 @@ class DmlStatement:
             return "refused"
         try:
             affected = world.cluster.execute(self.sql)
+        except StorageUnavailable:
+            return "storage_unavailable"
         except TransientStorageError:
             return "gave_up_transient"
         except ClusterError:
@@ -266,6 +288,11 @@ class RecoverNode:
         target = cluster.nodes.get(self.node)
         if target is None or target.is_up:
             return "skipped"
+        if cluster.refresh_degraded():
+            # Recovery re-subscribes through commits; deferring the whole
+            # recovery beats leaving the node half-recovered when the
+            # first commit is rejected by the outage gate.
+            return "paused_outage"
         # Restart regenerates the node's instance id: objects under the old
         # prefix lose their in-flight protection until the next sweep.
         world.cleanup_completed = False
@@ -317,6 +344,8 @@ class Subscribe:
             return "skipped"
         try:
             cluster.subscribe(self.node, self.shard_id)
+        except StorageUnavailable:
+            return "storage_unavailable"
         except CatalogError:
             return "skipped"  # already subscribed / invalid transition
         except TransientStorageError:
@@ -357,6 +386,8 @@ class Unsubscribe:
             return "refused"
         try:
             cluster.unsubscribe(self.node, self.shard_id)
+        except StorageUnavailable:
+            return "storage_unavailable"
         except ShardCoverageLost:
             return "refused"
         except CatalogError:
@@ -383,6 +414,8 @@ class AddNode:
             return "skipped"
         try:
             cluster.add_node(self.node)
+        except StorageUnavailable:
+            return "storage_unavailable"
         except TransientStorageError:
             return "gave_up_transient"
         return "ok"
@@ -420,6 +453,8 @@ class RemoveNode:
         world.cleanup_completed = False
         try:
             cluster.remove_node(self.node)
+        except StorageUnavailable:
+            return "storage_unavailable"
         except ShardCoverageLost:
             return "refused"
         return "ok"
@@ -488,6 +523,8 @@ class QueryPinned:
             actual = rows_key(
                 cluster.query_statement(statement, session=pin.session)
             )
+        except StorageUnavailable:
+            return "storage_unavailable"
         except ObjectNotFound as exc:
             raise InvariantViolation(
                 "pinned-read",
@@ -543,11 +580,17 @@ class MaintenanceTick:
         cluster = world.cluster
         if cluster.shut_down:
             return "refused"
+        if cluster.refresh_degraded():
+            # Maintenance pauses during an outage (every upload/delete
+            # would be rejected) instead of burning error outcomes.
+            return "paused_outage"
         try:
             cluster.sync_catalogs(include_checkpoint=self.checkpoint)
             cluster.write_cluster_info()
             cluster.reaper.poll()
             cluster.reaper.cleanup_leaked_files()
+        except StorageUnavailable:
+            return "storage_unavailable"
         except TransientStorageError:
             return "gave_up_transient"
         world.cleanup_completed = True
@@ -571,10 +614,14 @@ class Mergeout:
         cluster = world.cluster
         if cluster.shut_down:
             return "refused"
+        if cluster.refresh_degraded():
+            return "paused_outage"
         try:
             MergeoutCoordinatorService(cluster).run_all(
                 max_jobs_per_shard=self.max_jobs_per_shard
             )
+        except StorageUnavailable:
+            return "storage_unavailable"
         except TransientStorageError:
             return "gave_up_transient"
         return "ok"
@@ -594,6 +641,9 @@ class AdvanceClock:
     def apply(self, world) -> str:
         clock = world.clock
         clock.run(until=clock.now + self.dt)
+        # Time passing is what ends an outage window; poll so the cluster
+        # exits degraded mode at the first opportunity.
+        world.cluster.refresh_degraded()
         return "ok"
 
 
@@ -617,6 +667,8 @@ class ReviveCluster:
             return "skipped"
         if cluster.shared.faults.burst_active:
             return "refused"  # don't shut down into a fault storm
+        if cluster.refresh_degraded():
+            return "refused"  # can't sync a final checkpoint into an outage
         if any(not n.is_up for n in cluster.nodes.values()):
             return "refused"  # revive from a clean, fully-up shutdown
         world.release_all_pins()
@@ -636,4 +688,142 @@ class ReviveCluster:
             raise InvariantViolation("revive", world.seed, world.step, str(exc))
         world.cluster = new_cluster
         world.cleanup_completed = False
+        return "ok"
+
+
+@dataclass(frozen=True)
+class KillMidQuery:
+    """Kill a participating node *mid-query* and require session-level
+    failover to finish the query anyway.
+
+    The session is created first (fixing the participant set), a
+    survivable participant is killed, and the query is then executed
+    through that doomed session with ``failover=True``.  The first attempt
+    hits :class:`NodeDown`; the failover loop must re-select participants
+    over the surviving up ACTIVE subscribers and return the oracle's
+    answer.  A ``NodeDown`` escaping while coverage still holds is the
+    ``query-failover`` invariant violation this action exists to catch.
+    """
+
+    sql: str
+
+    name = "kill_mid_query"
+
+    def detail(self) -> str:
+        return self.sql
+
+    def _survivable_victims(self, world, participants) -> List[str]:
+        cluster = world.cluster
+        if (len(cluster.up_nodes()) - 1) * 2 <= len(cluster.nodes):
+            return []
+        out = []
+        for name in participants:
+            if not cluster.nodes[name].is_up:
+                continue
+            survivable = all(
+                any(
+                    n != name
+                    for n in cluster.active_up_subscribers(shard_id)
+                )
+                for shard_id in cluster.shard_map.all_shard_ids()
+            )
+            if survivable:
+                out.append(name)
+        return out
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        if cluster.refresh_degraded():
+            return "refused"  # outage failures would mask the failover path
+        try:
+            session = cluster.create_session()
+        except ClusterError:
+            return "refused"
+        try:
+            participants = sorted(session.participants())
+            # Prefer killing a non-initiator participant (the paper's
+            # "participating node dies" case); fall back to the initiator.
+            victims = self._survivable_victims(
+                world, [p for p in participants if p != session.initiator]
+            ) or self._survivable_victims(world, participants)
+            if not victims:
+                return "refused"
+            victim = victims[0]
+            expected = world.oracle.query_rows(self.sql)
+            world.release_pins_touching(victim)
+            world.cleanup_completed = False
+            try:
+                cluster.kill_node(victim)
+            except (QuorumLost, ShardCoverageLost):
+                return "shutdown"
+            statement = parse(self.sql)[0]
+            try:
+                actual = rows_key(
+                    cluster.query_statement(
+                        statement, session=session, failover=True
+                    )
+                )
+            except NodeDown as exc:
+                if not cluster.uncovered_shards():
+                    raise InvariantViolation(
+                        "query-failover",
+                        world.seed,
+                        world.step,
+                        f"{self.sql!r} failed with NodeDown ({exc}) although "
+                        "surviving up ACTIVE subscribers cover every shard",
+                    )
+                return "shutdown"
+            except StorageUnavailable:
+                return "storage_unavailable"
+            except TransientStorageError:
+                return "gave_up_transient"
+            except ObjectNotFound as exc:
+                raise InvariantViolation(
+                    "catalog-storage",
+                    world.seed,
+                    world.step,
+                    f"failover query {self.sql!r} read a missing object: {exc}",
+                )
+            if actual != expected:
+                raise InvariantViolation(
+                    "oracle-equivalence",
+                    world.seed,
+                    world.step,
+                    f"failover {self.sql!r}: cluster={actual[:4]} "
+                    f"oracle={expected[:4]}",
+                )
+            return "ok"
+        finally:
+            session.release()
+
+
+@dataclass(frozen=True)
+class S3Outage:
+    """Declare a sustained S3 outage window (Taurus-style degradation).
+
+    Every request fails fast with :class:`StorageUnavailable` until the
+    sim clock passes the window's end; the cluster drops into degraded
+    read-only mode, and later steps (clock advances, commits, service
+    runs) poll it back out.  Entry/exit pairing is checked by the
+    ``degraded-pairing`` invariant after every step.
+    """
+
+    seconds: float
+
+    name = "s3_outage"
+
+    def detail(self) -> str:
+        return f"seconds={self.seconds}"
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        faults = cluster.shared.faults
+        if faults.outage_active:
+            return "skipped"  # already inside a window
+        faults.begin_outage(self.seconds)
+        # Enter degraded mode immediately; exit happens when something
+        # polls after the window lapses.
+        cluster.refresh_degraded()
         return "ok"

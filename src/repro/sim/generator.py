@@ -79,6 +79,10 @@ class ScenarioGenerator:
             return [(1.0, self._advance_clock)]
         if self._killable_nodes(world):
             menu.append((7.0, self._kill))
+            if not cluster.shared.outage_active:
+                menu.append((4.0, self._kill_mid_query))
+        if not cluster.shared.faults.outage_active:
+            menu.append((3.0, self._s3_outage))
         if any(not n.is_up for n in cluster.nodes.values()):
             menu.append((12.0, self._recover))
         menu.append((4.0, self._subscribe))
@@ -172,6 +176,18 @@ class ScenarioGenerator:
         ops = self.rng.randrange(5, 30)
         return act.S3Burst(rate=rate, ops=ops)
 
+    def _kill_mid_query(self, world) -> act.KillMidQuery:
+        template = self.QUERY_POOL[self.rng.randrange(len(self.QUERY_POOL))]
+        return act.KillMidQuery(
+            template.format(table=world.table, cut=self._cut())
+        )
+
+    def _s3_outage(self, world) -> act.S3Outage:
+        # Windows of 20..200 sim-seconds: long enough to span several
+        # steps (clock advances draw 1..119s), short enough that most
+        # campaigns see both the entry and the exit.
+        return act.S3Outage(seconds=float(self.rng.randrange(20, 200)))
+
     def _subscribe(self, world):
         cluster = world.cluster
         up = sorted(n.name for n in cluster.up_nodes())
@@ -232,3 +248,21 @@ class ScenarioGenerator:
 
     def _revive(self, world) -> act.ReviveCluster:
         return act.ReviveCluster(revive_seed=self.rng.randrange(1, 1 << 30))
+
+
+class ChaosScenarioGenerator(ScenarioGenerator):
+    """The ``make chaos-smoke`` configuration: the recovery-path actions
+    (``kill_mid_query``, ``s3_outage``) pinned on with boosted weights, so
+    short campaigns reliably exercise mid-query failover and degraded-mode
+    entry/exit.  Same determinism contract as the base generator."""
+
+    def _menu(self, world):
+        menu = super()._menu(world)
+        cluster = world.cluster
+        if cluster.shut_down:
+            return menu
+        if self._killable_nodes(world) and not cluster.shared.outage_active:
+            menu.append((12.0, self._kill_mid_query))
+        if not cluster.shared.faults.outage_active:
+            menu.append((6.0, self._s3_outage))
+        return menu

@@ -213,12 +213,18 @@ def run_campaign(
     seed: int,
     config: Optional[CampaignConfig] = None,
     registry: Optional[InvariantRegistry] = None,
+    generator: Optional[ScenarioGenerator] = None,
 ) -> CampaignResult:
-    """Generate and run one seeded scenario, invariant-checked per step."""
+    """Generate and run one seeded scenario, invariant-checked per step.
+
+    ``generator`` substitutes a different scenario generator (e.g. the
+    chaos-boosted one) built from the same seed; the default is the
+    standard menu.
+    """
     config = config or CampaignConfig()
     registry = registry or InvariantRegistry(halt=config.halt)
     world = SimWorld(seed, config)
-    generator = ScenarioGenerator(seed)
+    generator = generator or ScenarioGenerator(seed)
     trace = Trace()
     schedule: List = []
     violation: Optional[InvariantViolation] = None

@@ -157,6 +157,34 @@ def catalog_versions_in_step(world) -> Optional[str]:
     return None
 
 
+def degraded_pairing(world) -> Optional[str]:
+    """Degraded-mode entry/exit is deterministic and always paired.
+
+    The cluster flips ``degraded`` only inside ``refresh_degraded`` —
+    purely a function of the sim clock against the declared outage window
+    — and bumps exactly one of the entry/exit counters per flip.  So at
+    every step ``entries - exits`` must equal 1 while degraded and 0
+    otherwise, and the flag may only be set while the backend actually
+    declared an outage at the last poll (never spontaneously).
+
+    Reads counters and flags only — no requests, no RNG draws.
+    """
+    cluster = world.cluster
+    entries = getattr(cluster, "degraded_entries", 0)
+    exits = getattr(cluster, "degraded_exits", 0)
+    degraded = bool(getattr(cluster, "degraded", False))
+    open_windows = 1 if degraded else 0
+    if entries - exits != open_windows:
+        return (
+            f"degraded entries={entries} exits={exits} but degraded={degraded}: "
+            "entry/exit not paired"
+        )
+    faults = getattr(cluster.shared, "faults", None)
+    if degraded and faults is not None and faults.outages_begun == 0:
+        return "cluster is degraded but no outage was ever declared"
+    return None
+
+
 Invariant = Callable[[object], Optional[str]]
 
 DEFAULT_INVARIANTS: Tuple[Tuple[str, Invariant], ...] = (
@@ -167,6 +195,7 @@ DEFAULT_INVARIANTS: Tuple[Tuple[str, Invariant], ...] = (
     ("io-batch-sanity", io_batch_sanity),
     ("clock-monotone", clock_monotone),
     ("catalog-version-sync", catalog_versions_in_step),
+    ("degraded-pairing", degraded_pairing),
 )
 
 
