@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke bench bench-smoke obs-demo
+.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke wm-smoke bench bench-smoke obs-demo
 
 # Default flow: lint, then the tier-1 suite.
 default: lint test
@@ -11,7 +11,7 @@ test:
 
 # Inner-loop subset: everything except the sim campaigns and slow sweeps.
 test-fast:
-	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos"
+	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos and not wm"
 
 # Lint with ruff when available; fall back to a syntax sweep (compileall)
 # so `make lint` is meaningful in offline environments without ruff.
@@ -31,6 +31,11 @@ sim-smoke:
 # (mid-query failover, S3 outage windows, rebalancer) only.
 chaos-smoke:
 	$(PY) -m pytest tests/test_chaos.py -m chaos -q
+
+# Workload-manager confidence check: query-storm-boosted campaigns with
+# the wm-slot-accounting invariant (slots == running queries, zero leaks).
+wm-smoke:
+	$(PY) -m pytest tests/test_wm_campaign.py -m wm -q
 
 # Longer chaos run straight from the CLI (prints per-seed digests).
 sim-campaign:

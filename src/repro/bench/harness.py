@@ -1,5 +1,11 @@
 """Discrete-event throughput simulation over live cluster objects.
 
+Since the workload manager landed (:mod:`repro.wm`), Figure 11a is
+measured through the real admission-controlled query path; this
+side-model is retained as the *shape oracle* the measured run is diffed
+against (see ``benchmarks/bench_fig11a_throughput.py``), and still
+drives the COPY-throughput and event-sweep benches.
+
 The model follows section 4.2 exactly: "For a database with S shards, N
 nodes, and E execution slots per node, a running query requires S of the
 total N * E slots."  Each simulated client loops: open a session (the

@@ -53,6 +53,7 @@ from repro.storage.container import (
     write_container,
 )
 from repro.storage.wos import WOS
+from repro.wm.admission import AdmissionController
 
 #: EBS-class volume throughput (bytes/simulated second) for Enterprise
 #: node storage; Eon caches sit on faster instance storage.
@@ -111,6 +112,10 @@ class EnterpriseCluster:
         self._version = itertools.count(1)
         self._session_counter = itertools.count()
         self.shut_down = False
+        #: Workload manager (repro.wm): Enterprise has no subclusters, so
+        #: every node lands in the shared ``general`` pool — and every
+        #: query takes a slot on every node, the paper's scaling penalty.
+        self.admission = AdmissionController(self)
 
     # -- membership -------------------------------------------------------------
 
@@ -400,18 +405,42 @@ class EnterpriseCluster:
             raise NodeDown("no nodes up")
         return EnterpriseSession(region_server, initiator=up[seed % len(up)])
 
-    def query(self, sql: str, seed: Optional[int] = None) -> QueryResult:
+    def query(
+        self,
+        sql: str,
+        seed: Optional[int] = None,
+        session: Optional[EnterpriseSession] = None,
+        ticket=None,
+    ) -> QueryResult:
+        from collections import Counter
+
         from repro.sql.ast import Select
 
         statements = parse(sql)
         if len(statements) != 1 or not isinstance(statements[0], Select):
             raise CatalogError("query() accepts a single SELECT")
-        session = self.create_session(seed=seed)
-        with self.catalog.snapshot() as snapshot:
-            bound = bind_select(statements[0], snapshot.state)
-            plan = plan_query(bound, snapshot.state)
-            provider = EnterpriseStorageProvider(self, session, snapshot.state)
-            return Executor(provider, self.cost_model).execute(plan)
+        if session is None:
+            session = self.create_session(seed=seed)
+        own_ticket = None
+        if ticket is None and self.admission is not None:
+            # Enterprise demand: one slot per region served — every up
+            # node, which is exactly why concurrency does not scale out.
+            demand = dict(Counter(session.region_server.values()))
+            demand.setdefault(session.initiator, 1)
+            own_ticket = self.admission.admit(demand, session.initiator)
+            ticket = own_ticket
+        try:
+            with self.catalog.snapshot() as snapshot:
+                bound = bind_select(statements[0], snapshot.state)
+                plan = plan_query(bound, snapshot.state)
+                provider = EnterpriseStorageProvider(self, session, snapshot.state)
+                result = Executor(provider, self.cost_model).execute(plan)
+                if ticket is not None and ticket.queue_wait_seconds:
+                    result.stats.dispatch_seconds += ticket.queue_wait_seconds
+                return result
+        finally:
+            if own_ticket is not None:
+                self.admission.release(own_ticket)
 
     # -- elasticity: full redistribution (the paper's anti-pattern) -----------------
 

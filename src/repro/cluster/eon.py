@@ -54,7 +54,7 @@ from repro.common.clock import SimClock
 from repro.common.types import ColumnType, SchemaColumn, TableSchema
 from repro.engine.cost import CostModel
 from repro.engine.executor import Executor, QueryResult
-from repro.engine.planner import plan_query
+from repro.engine.planner import plan_query, plan_slot_demand
 from repro.errors import (
     CatalogError,
     ClusterError,
@@ -76,6 +76,7 @@ from repro.shared_storage.s3 import SimulatedS3
 from repro.sql.binder import bind_select
 from repro.sql.parser import parse
 from repro.storage.container import RowSet
+from repro.wm.admission import AdmissionController, eon_share_counts
 
 
 def _describe_select(statement) -> str:
@@ -149,6 +150,10 @@ class EonCluster:
         #: Session-level query failover bounds (repro.recovery).
         self.failover_policy = FailoverPolicy()
         self.failovers = 0
+        #: Workload manager: per-node execution-slot admission control
+        #: (repro.wm).  Every SELECT holds its slot demand for the length
+        #: of its execution; concurrent drivers queue on the clock.
+        self.admission = AdmissionController(self)
         #: Degraded read-only mode: entered while shared storage is in a
         #: sustained outage window, exited when the window lapses.  The
         #: entry/exit counters are the pairing invariant's observables.
@@ -762,6 +767,7 @@ class EonCluster:
         session: Optional[EonSession] = None,
         request_text: Optional[str] = None,
         failover: Optional[bool] = None,
+        ticket=None,
         **session_options,
     ) -> QueryResult:
         if session is None and session_options.get("crunch") == "auto":
@@ -784,8 +790,11 @@ class EonCluster:
             if own_session:
                 current = self.create_session(**session_options)
             try:
+                # A caller-supplied admission ticket (the concurrent
+                # driver's) spans the whole query including failover
+                # retries; without one, each attempt admits itself.
                 return self._execute_statement(
-                    statement, current, request_text, penalty
+                    statement, current, request_text, penalty, ticket
                 )
             except (NodeDown, TransientStorageError) as exc:
                 attempt += 1
@@ -817,7 +826,12 @@ class EonCluster:
             current = None
 
     def _execute_statement(
-        self, statement, session, request_text: Optional[str], penalty: float = 0.0
+        self,
+        statement,
+        session,
+        request_text: Optional[str],
+        penalty: float = 0.0,
+        ticket=None,
     ) -> QueryResult:
         """One execution attempt against an already-selected session."""
         snapshot = session.snapshots[session.initiator]
@@ -825,7 +839,8 @@ class EonCluster:
         provider: object = EonStorageProvider(session)
         # ``v_monitor.*`` references get virtual tables injected into a
         # copy of the snapshot state; binding/planning then proceed as
-        # for any other table.
+        # for any other table.  Rows materialize here — before admission —
+        # so a monitor query observes steady-state slot usage, not its own.
         system_names = system_tables_referenced(statement)
         if system_names:
             state, provider = bind_system_tables(
@@ -833,21 +848,37 @@ class EonCluster:
             )
         bound = bind_select(statement, state)
         plan = plan_query(bound, state)
-        # Monitor queries are not themselves recorded: profiling the
-        # profiler would recurse (this query would appear in the very
-        # tables it reads, mid-materialization).
-        record = self.obs.enabled and not system_names
-        executor = Executor(
-            provider, self.cost_model, obs=self.obs if record else None
-        )
-        if not record:
-            result = executor.execute(plan)
-            if penalty:
-                result.stats.dispatch_seconds += penalty
-            return result
-        return self._record_query(
-            statement, session, executor, plan, request_text, penalty
-        )
+        own_ticket = None
+        # Pure monitor reads bypass admission: observability must stay
+        # usable on a saturated cluster (the moment you most need it).
+        if ticket is None and self.admission is not None and not system_names:
+            demand = plan_slot_demand(
+                plan, eon_share_counts(session), session.initiator
+            )
+            own_ticket = self.admission.admit(demand, session.initiator)
+            ticket = own_ticket
+        # Queue wait joins the failover backoff in dispatch time, so the
+        # recorded latency/profile/span covers the whole admission story.
+        extra = penalty + (ticket.queue_wait_seconds if ticket is not None else 0.0)
+        try:
+            # Monitor queries are not themselves recorded: profiling the
+            # profiler would recurse (this query would appear in the very
+            # tables it reads, mid-materialization).
+            record = self.obs.enabled and not system_names
+            executor = Executor(
+                provider, self.cost_model, obs=self.obs if record else None
+            )
+            if not record:
+                result = executor.execute(plan)
+                if extra:
+                    result.stats.dispatch_seconds += extra
+                return result
+            return self._record_query(
+                statement, session, executor, plan, request_text, extra
+            )
+        finally:
+            if own_ticket is not None:
+                self.admission.release(own_ticket)
 
     def _record_query(
         self,

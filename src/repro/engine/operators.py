@@ -57,7 +57,13 @@ class AggregateSpec:
 def _factorize(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """(codes, uniques): codes[i] indexes uniques; order of uniques sorted."""
     if arr.dtype.kind == "O":
-        uniques_list = sorted({v for v in arr}, key=lambda v: (v is None, v))
+        try:
+            uniques_list = sorted({v for v in arr}, key=lambda v: (v is None, v))
+        except TypeError:
+            # Mixed-type object columns (e.g. a VARCHAR column fed ints by
+            # an expression) are not mutually comparable; fall back to a
+            # stable first-occurrence factorization.
+            uniques_list = list(dict.fromkeys(arr.tolist()))
         index = {v: i for i, v in enumerate(uniques_list)}
         codes = np.fromiter((index[v] for v in arr), dtype=np.int64, count=len(arr))
         return codes, np.array(uniques_list, dtype=object)
@@ -116,7 +122,16 @@ def _output_type(func: str, arg: Optional[np.ndarray]) -> ColumnType:
     return ColumnType.INT
 
 
-def _agg_array(func: str, values: np.ndarray, codes: np.ndarray, n: int) -> np.ndarray:
+def _agg_array(
+    func: str, values: Optional[np.ndarray], codes: np.ndarray, n: int
+) -> np.ndarray:
+    """One aggregate over dense group ``codes``, NULL-aware.
+
+    NULL is ``None`` in object columns and ``NaN`` in float columns; int
+    and bool columns cannot hold NULL (no sentinel).  NULLs are masked
+    before the kernels run, so they never contribute to ``count(col)``,
+    ``sum``, ``min``, or ``max``.
+    """
     if len(codes) == 0:
         # Only the global-aggregate case reaches here with n == 1; grouped
         # aggregation over empty input produces zero groups.
@@ -133,25 +148,44 @@ def _agg_array(func: str, values: np.ndarray, codes: np.ndarray, n: int) -> np.n
         if values is not None and values.dtype.kind == "f":
             return np.full(n, np.nan)
         return np.zeros(n, dtype=np.int64 if values is None else values.dtype)
+    if func == "count":
+        # count(*) (values is None) counts rows; count(col) skips NULLs.
+        if values is not None:
+            codes = codes[_valid_mask(values)]
+        return np.bincount(codes, minlength=n).astype(np.int64)
     if func == "sum":
         if values.dtype.kind == "f":
-            return np.bincount(codes, weights=values, minlength=n)
+            # NaN is the float NULL sentinel: mask it before bincount so a
+            # single NULL does not poison its group.  An all-NULL group
+            # sums to 0.0 rather than SQL's NULL — documented deviation.
+            valid = _valid_mask(values)
+            return np.bincount(codes[valid], weights=values[valid], minlength=n)
         return np.bincount(codes, weights=values.astype(np.float64), minlength=n).astype(np.int64)
-    if func == "count":
-        return np.bincount(codes, minlength=n).astype(np.int64)
     if func in ("min", "max"):
+        if values.dtype.kind == "f":
+            # Mask NULLs up front; a group whose values are all NULL then
+            # vanishes from ``codes`` and stays NaN in the scatter below.
+            valid = _valid_mask(values)
+            codes = codes[valid]
+            values = values[valid]
+            if len(codes) == 0:
+                return np.full(n, np.nan)
         order = np.argsort(codes, kind="stable")
         sorted_codes = codes[order]
         sorted_values = values[order]
         starts = np.concatenate(([0], np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1))
         if values.dtype.kind == "O":
-            out = np.empty(n, dtype=object)
+            out = np.full(n, None, dtype=object)
             ends = np.concatenate((starts[1:], [len(sorted_values)]))
             for g, (s, e) in enumerate(zip(starts, ends)):
-                chunk = [v for v in sorted_values[s:e] if v is not None]
+                chunk = [v for v in sorted_values[s:e] if v is not None and v == v]
                 out[sorted_codes[s]] = (min(chunk) if func == "min" else max(chunk)) if chunk else None
             return out
         reducer = np.minimum if func == "min" else np.maximum
+        if values.dtype.kind == "f":
+            out = np.full(n, np.nan)
+            out[sorted_codes[starts]] = reducer.reduceat(sorted_values, starts)
+            return out
         return reducer.reduceat(sorted_values, starts)
     raise ExecutionError(f"unsupported aggregate {func!r}")
 
@@ -258,16 +292,17 @@ def _aggregate_complete(
         else:
             values = spec.argument.evaluate(rows)
         if spec.distinct:
-            pair_codes, _ = _factorize_pairs(codes, values)
+            if values is not None:
+                keep_valid = _valid_mask(values)
+                codes_d = codes[keep_valid]
+                values_d = values[keep_valid]
+            else:
+                codes_d, values_d = codes, None
+            pair_codes, _ = _factorize_pairs(codes_d, values_d)
             keep = _first_occurrence_mask(pair_codes)
             out_cols[spec.output] = _agg_array(
-                "count", codes[keep].astype(np.int64), codes[keep], n_groups
+                "count", None, codes_d[keep], n_groups
             )
-        elif spec.func == "count" and values is None:
-            out_cols[spec.output] = _agg_array("count", codes, codes, n_groups)
-        elif spec.func == "count":
-            mask = _non_null_mask(values)
-            out_cols[spec.output] = np.bincount(codes[mask], minlength=n_groups).astype(np.int64)
         else:
             out_cols[spec.output] = _agg_array(spec.func, values, codes, n_groups)
         out_schema_cols.append(SchemaColumn(spec.output, _output_type(spec.func, values)))
@@ -296,9 +331,14 @@ def _first_occurrence_mask(codes: np.ndarray) -> np.ndarray:
     return keep
 
 
-def _non_null_mask(values: np.ndarray) -> np.ndarray:
+def _valid_mask(values: np.ndarray) -> np.ndarray:
+    """True where the value is non-NULL (``None`` objects, float ``NaN``)."""
     if values.dtype.kind == "O":
-        return np.fromiter((v is not None for v in values), dtype=bool, count=len(values))
+        return np.fromiter(
+            (v is not None and v == v for v in values), dtype=bool, count=len(values)
+        )
+    if values.dtype.kind == "f":
+        return ~np.isnan(values)
     return np.ones(len(values), dtype=bool)
 
 

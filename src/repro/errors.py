@@ -75,6 +75,22 @@ class ReviveError(ClusterError):
     """Revive from shared storage could not complete (e.g. live lease)."""
 
 
+class AdmissionRejected(ReproError):
+    """The workload manager refused to admit a query.
+
+    Raised when a resource pool's queue is full, when a queued admission
+    waited past the pool's queue timeout, or when a synchronous caller
+    (no event loop running) asks for slots that are currently busy.  The
+    statement never started executing; retrying after backoff is safe.
+    """
+
+    def __init__(self, message: str, pool: str = "", reason: str = "rejected"):
+        super().__init__(message)
+        self.pool = pool
+        #: ``queue_full`` | ``timeout`` | ``busy``
+        self.reason = reason
+
+
 class PlanningError(ReproError):
     """The query planner could not produce a plan."""
 

@@ -399,4 +399,27 @@ def cluster_metrics(cluster) -> dict:
     if faults is not None:
         recovery["outages_begun"] = getattr(faults, "outages_begun", 0)
         recovery["outage_rejections"] = getattr(faults, "outage_rejections", 0)
-    return {"depot": depot, "io": io, "s3": s3, "recovery": recovery}
+
+    wm: Dict[str, object] = {}
+    admission = getattr(cluster, "admission", None)
+    if admission is not None:
+        wm["slots_in_use"] = admission.total_in_use()
+        wm["active_queries"] = len(admission.active)
+        wm["pending_admissions"] = admission.pending
+        pools: Dict[str, object] = {}
+        for name in sorted(admission.pools):
+            pool = admission.pools[name]
+            pools[name] = {
+                "capacity": admission.pool_capacity(pool),
+                "slots_in_use": admission.pool_in_use(pool),
+                "queued": pool.queued,
+                "peak_queue_depth": pool.peak_queue_depth,
+                "admitted": pool.admitted,
+                "queued_admissions": pool.queued_admissions,
+                "queue_wait_seconds": pool.queue_wait_seconds,
+                "timeouts": pool.timeouts,
+                "rejected_queue_full": pool.rejected_queue_full,
+                "rejected_busy": pool.rejected_busy,
+            }
+        wm["pools"] = pools
+    return {"depot": depot, "io": io, "s3": s3, "recovery": recovery, "wm": wm}

@@ -153,6 +153,7 @@ def _storage_containers(cluster) -> List[tuple]:
 
 
 def _resource_usage(cluster) -> List[tuple]:
+    admission = getattr(cluster, "admission", None)
     rows = []
     for name in sorted(cluster.nodes):
         node = cluster.nodes[name]
@@ -163,10 +164,54 @@ def _resource_usage(cluster) -> List[tuple]:
                 node.state.value,
                 len(shards),
                 node.execution_slots,
+                admission.slots_in_use(name) if admission is not None else 0,
                 node.cache.used_bytes,
                 node.cache.capacity_bytes,
                 node.cache_reads,
                 node.shared_reads,
+            )
+        )
+    return rows
+
+
+def _resource_pools(cluster) -> List[tuple]:
+    admission = getattr(cluster, "admission", None)
+    if admission is None:
+        return []
+    rows = []
+    for name in sorted(admission.pools):
+        pool = admission.pools[name]
+        rows.append(
+            (
+                name,
+                len(pool.members),
+                admission.pool_capacity(pool),
+                admission.pool_in_use(pool),
+                pool.config.max_queue_depth,
+                pool.config.queue_timeout_seconds,
+                pool.admitted,
+            )
+        )
+    return rows
+
+
+def _resource_queues(cluster) -> List[tuple]:
+    admission = getattr(cluster, "admission", None)
+    if admission is None:
+        return []
+    rows = []
+    for name in sorted(admission.pools):
+        pool = admission.pools[name]
+        rows.append(
+            (
+                name,
+                pool.queued,
+                pool.peak_queue_depth,
+                pool.queued_admissions,
+                pool.queue_wait_seconds,
+                pool.timeouts,
+                pool.rejected_queue_full,
+                pool.rejected_busy,
             )
         )
     return rows
@@ -274,11 +319,30 @@ SYSTEM_TABLES: Dict[str, SystemTableDef] = {
             "resource_usage",
             _schema(
                 ("node_name", _S), ("node_state", _S), ("subscriptions", _I),
-                ("execution_slots", _I), ("cache_used_bytes", _I),
-                ("cache_capacity_bytes", _I), ("cache_reads", _I),
-                ("shared_reads", _I),
+                ("execution_slots", _I), ("slots_in_use", _I),
+                ("cache_used_bytes", _I), ("cache_capacity_bytes", _I),
+                ("cache_reads", _I), ("shared_reads", _I),
             ),
             _resource_usage,
+        ),
+        SystemTableDef(
+            "resource_pools",
+            _schema(
+                ("pool_name", _S), ("node_count", _I), ("capacity", _I),
+                ("slots_in_use", _I), ("max_queue_depth", _I),
+                ("queue_timeout_seconds", _F), ("admitted", _I),
+            ),
+            _resource_pools,
+        ),
+        SystemTableDef(
+            "resource_queues",
+            _schema(
+                ("pool_name", _S), ("queue_depth", _I),
+                ("peak_queue_depth", _I), ("queued_admissions", _I),
+                ("queue_wait_seconds", _F), ("timeouts", _I),
+                ("rejected_queue_full", _I), ("rejected_busy", _I),
+            ),
+            _resource_queues,
         ),
         SystemTableDef(
             "services",

@@ -827,3 +827,74 @@ class S3Outage:
         # polls after the window lapses.
         cluster.refresh_degraded()
         return "ok"
+
+
+@dataclass(frozen=True)
+class QueryStorm:
+    """Concurrent closed-loop burst through the admission-controlled path.
+
+    Spawns ``clients`` sessions as sim-clock processes, each looping
+    ``requests_per_client`` queries: queue for execution slots, run the
+    real query path, hold the slots for the modeled service time.  Every
+    successful answer is diffed against the oracle (concurrency must not
+    change answers), and the ``wm-slot-accounting`` invariant then checks
+    the pools drained to zero.
+    """
+
+    sqls: Tuple[str, ...]
+    clients: int
+    requests_per_client: int
+
+    name = "query_storm"
+
+    def detail(self) -> str:
+        return (
+            f"{self.clients} clients x {self.requests_per_client} reqs "
+            f"over {len(self.sqls)} statements"
+        )
+
+    def apply(self, world) -> str:
+        from repro.wm.driver import ClosedLoopWorkload, run_closed_loop
+
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        if cluster.refresh_degraded():
+            # Degraded read-only mode: a storm would just fail fast N
+            # times; the single-query action already exercises that path.
+            return "refused"
+        expected = {sql.strip(): world.oracle.query_rows(sql) for sql in self.sqls}
+        workload = ClosedLoopWorkload(
+            statements=self.sqls,
+            clients=self.clients,
+            requests_per_client=self.requests_per_client,
+            seed=world.seed * 7919 + world.step,
+        )
+        result = run_closed_loop(cluster, workload, result_key=rows_key)
+        for record in result.records:
+            if record.outcome == "ok":
+                want = expected[record.sql]
+                if record.digest != want:
+                    raise InvariantViolation(
+                        "oracle-equivalence",
+                        world.seed,
+                        world.step,
+                        f"storm {record.sql!r} (client {record.client}): "
+                        f"cluster={record.digest[:4]} oracle={want[:4]}",
+                    )
+            elif record.outcome == "error:ObjectNotFound":
+                raise InvariantViolation(
+                    "catalog-storage",
+                    world.seed,
+                    world.step,
+                    f"storm {record.sql!r} (client {record.client}) read a "
+                    f"missing object",
+                )
+        if result.completed:
+            return "ok"
+        outcomes = {r.outcome for r in result.records}
+        if "error:StorageUnavailable" in outcomes:
+            return "storage_unavailable"
+        if "error:TransientStorageError" in outcomes:
+            return "gave_up_transient"
+        return "refused"

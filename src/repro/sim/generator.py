@@ -132,6 +132,23 @@ class ScenarioGenerator:
             template.format(table=world.table, cut=0), rounds=rounds
         )
 
+    def _query_storm(self, world) -> act.QueryStorm:
+        # A small concurrent burst: a few statements shared by several
+        # closed-loop clients, all interleaved on the sim clock through
+        # the admission controller.
+        count = 2 + self.rng.randrange(2)
+        sqls = tuple(
+            self.QUERY_POOL[self.rng.randrange(len(self.QUERY_POOL))].format(
+                table=world.table, cut=self._cut()
+            )
+            for _ in range(count)
+        )
+        clients = 3 + self.rng.randrange(6)
+        requests = 1 + self.rng.randrange(2)
+        return act.QueryStorm(
+            sqls=sqls, clients=clients, requests_per_client=requests
+        )
+
     def _dml(self, world):
         cut = self._cut()
         if self.rng.random() < 0.5:
@@ -248,6 +265,21 @@ class ScenarioGenerator:
 
     def _revive(self, world) -> act.ReviveCluster:
         return act.ReviveCluster(revive_seed=self.rng.randrange(1, 1 << 30))
+
+
+class WorkloadScenarioGenerator(ScenarioGenerator):
+    """The ``make wm-smoke`` configuration: concurrent ``query_storm``
+    bursts boosted so short campaigns reliably interleave many sessions
+    through the admission controller (and the ``wm-slot-accounting``
+    invariant sees real contention).  Same determinism contract as the
+    base generator."""
+
+    def _menu(self, world):
+        menu = super()._menu(world)
+        if world.cluster.shut_down:
+            return menu
+        menu.append((14.0, self._query_storm))
+        return menu
 
 
 class ChaosScenarioGenerator(ScenarioGenerator):

@@ -185,6 +185,43 @@ def degraded_pairing(world) -> Optional[str]:
     return None
 
 
+def wm_slot_accounting(world) -> Optional[str]:
+    """Execution slots in use always equal the demand of live admission
+    tickets, and between steps — when no query is running — both are
+    zero: no leaked slots, no phantom queue entries, on any exit path
+    (success, error, cancel, failover, degraded rejection)."""
+    admission = getattr(world.cluster, "admission", None)
+    if admission is None:
+        return None
+    in_use = admission.total_in_use()
+    claimed = admission.active_demand()
+    if in_use != claimed:
+        return (
+            f"slots in use ({in_use}) != active ticket demand ({claimed}); "
+            f"{len(admission.active)} live tickets"
+        )
+    # Actions run queries to completion before the step ends, so at check
+    # time nothing may still hold or wait for slots.
+    if in_use != 0:
+        return f"{in_use} slots leaked after step ({len(admission.active)} tickets)"
+    if admission.pending != 0:
+        return f"{admission.pending} admissions still queued after step"
+    for name in sorted(admission.pools):
+        pool = admission.pools[name]
+        if pool.queued != 0:
+            return f"pool {name!r} reports queue depth {pool.queued} at rest"
+    for node_name in sorted(admission.node_slots):
+        resource = admission.node_slots[node_name]
+        capacity = resource.capacity
+        node = world.cluster.nodes.get(node_name)
+        if node is not None and capacity > node.execution_slots:
+            return (
+                f"node {node_name}: slot resource capacity {capacity} exceeds "
+                f"execution_slots {node.execution_slots}"
+            )
+    return None
+
+
 Invariant = Callable[[object], Optional[str]]
 
 DEFAULT_INVARIANTS: Tuple[Tuple[str, Invariant], ...] = (
@@ -196,6 +233,7 @@ DEFAULT_INVARIANTS: Tuple[Tuple[str, Invariant], ...] = (
     ("clock-monotone", clock_monotone),
     ("catalog-version-sync", catalog_versions_in_step),
     ("degraded-pairing", degraded_pairing),
+    ("wm-slot-accounting", wm_slot_accounting),
 )
 
 

@@ -1,0 +1,62 @@
+"""Resource pools: named admission-capacity groups over cluster nodes.
+
+A :class:`ResourcePool` is the workload manager's accounting unit — one
+per subcluster plus a ``general`` pool for nodes outside any subcluster
+(mirroring Vertica's GENERAL pool).  Capacity is not stored here: it is
+derived live from the member nodes' ``execution_slots`` by the
+:class:`~repro.wm.admission.AdmissionController`, so resizing a node or
+moving it between subclusters takes effect on the next admission.  The
+pool itself carries the queueing policy (max depth, timeout) and the
+monotone counters surfaced by ``v_monitor.resource_pools`` /
+``resource_queues`` and the ``wm.*`` metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: Pool for nodes that belong to no subcluster (Vertica's GENERAL pool).
+GENERAL_POOL = "general"
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Queueing policy for one pool (shared by all pools by default)."""
+
+    #: Admissions allowed to wait concurrently; beyond this the pool
+    #: rejects immediately (fail fast beats unbounded queues).
+    max_queue_depth: int = 64
+    #: A queued admission that waited longer than this is rejected when
+    #: its turn finally comes (simulated seconds).
+    queue_timeout_seconds: float = 30.0
+
+
+class ResourcePool:
+    """One admission pool: membership plus queue/admission statistics."""
+
+    def __init__(self, name: str, config: PoolConfig):
+        self.name = name
+        self.config = config
+        #: Member node names, kept current by the controller's refresh.
+        self.members: List[str] = []
+        #: Admissions currently waiting in this pool's queue.
+        self.queued = 0
+        self.peak_queue_depth = 0
+        #: Total tickets issued (immediate grants and queued grants).
+        self.admitted = 0
+        #: Admissions that had to wait before being granted.
+        self.queued_admissions = 0
+        self.rejected_queue_full = 0
+        #: Synchronous (non-queueing) admissions refused because slots
+        #: were busy.
+        self.rejected_busy = 0
+        self.timeouts = 0
+        #: Total simulated seconds spent waiting in the queue.
+        self.queue_wait_seconds = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResourcePool({self.name!r}, members={self.members}, "
+            f"queued={self.queued}, admitted={self.admitted})"
+        )

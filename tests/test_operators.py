@@ -280,3 +280,109 @@ class TestSortLimit:
 
     def test_limit_larger_than_input(self, rows):
         assert sort_limit(rows, [("x", True)], limit=100).num_rows == 5
+
+
+class TestNullSemantics:
+    """NULL-handling regressions, one per aggregate kernel: ``count(col)``
+    skips NULLs, float ``sum``/``min``/``max`` mask the NaN sentinel,
+    object ``min``/``max`` skip ``None``, ``avg`` inherits the masking,
+    and mixed-type object columns factorize without a ``TypeError``."""
+
+    def test_count_col_skips_nulls(self):
+        from repro.engine.operators import _agg_array
+
+        out = _agg_array(
+            "count",
+            np.array(["a", None, None], dtype=object),
+            np.array([0, 0, 1]),
+            2,
+        )
+        assert out.tolist() == [1, 0]
+
+    def test_count_star_still_counts_rows(self):
+        from repro.engine.operators import _agg_array
+
+        out = _agg_array("count", None, np.array([0, 0, 1]), 2)
+        assert out.tolist() == [2, 1]
+
+    def test_float_sum_masks_nan(self):
+        from repro.engine.operators import _agg_array
+
+        out = _agg_array(
+            "sum", np.array([1.0, np.nan, 3.0]), np.array([0, 0, 1]), 2
+        )
+        assert out.tolist() == [1.0, 3.0]
+
+    def test_float_min_masks_nan(self):
+        from repro.engine.operators import _agg_array
+
+        out = _agg_array(
+            "min", np.array([np.nan, 2.0, np.nan]), np.array([0, 0, 1]), 2
+        )
+        assert out[0] == 2.0
+        assert np.isnan(out[1])  # all-NULL group -> NULL sentinel
+
+    def test_float_max_masks_nan(self):
+        from repro.engine.operators import _agg_array
+
+        out = _agg_array(
+            "max",
+            np.array([np.nan, 2.0, 5.0, np.nan]),
+            np.array([0, 0, 0, 1]),
+            2,
+        )
+        assert out[0] == 5.0
+        assert np.isnan(out[1])
+
+    def test_object_min_max_skip_none(self):
+        from repro.engine.operators import _agg_array
+
+        values = np.array(["b", None, "a", None], dtype=object)
+        codes = np.array([0, 0, 0, 1])
+        assert _agg_array("min", values, codes, 2).tolist() == ["a", None]
+        assert _agg_array("max", values, codes, 2).tolist() == ["b", None]
+
+    def test_avg_inherits_null_masking(self):
+        rows = rows_of([("a", 1, 1.0), ("a", 1, None), ("b", 1, 3.0)])
+        out = aggregate(
+            rows, ["g"], [AggregateSpec("avg", col("y"), "avg_y")]
+        )
+        by_group = {r[0]: r[1] for r in out.to_pylist()}
+        assert by_group["a"] == 1.0  # not 0.5: the NULL is no row
+        assert by_group["b"] == 3.0
+
+    def test_count_distinct_skips_nulls(self):
+        rows = rows_of(
+            [("a", 1, 1.0), ("a", 2, 1.0), ("a", 3, None), ("b", 4, None)]
+        )
+        out = aggregate(
+            rows,
+            ["g"],
+            [AggregateSpec("count", col("y"), "c", distinct=True)],
+        )
+        by_group = {r[0]: r[1] for r in out.to_pylist()}
+        assert by_group["a"] == 1
+        assert by_group["b"] == 0
+
+    def test_factorize_mixed_types_insertion_order(self):
+        from repro.engine.operators import _factorize
+
+        codes, uniques = _factorize(np.array([1, "a", 1, None], dtype=object))
+        assert codes.tolist() == [0, 1, 0, 2]
+        assert uniques.tolist() == [1, "a", None]
+
+    def test_factorize_comparable_stays_sorted_nulls_last(self):
+        from repro.engine.operators import _factorize
+
+        codes, uniques = _factorize(np.array(["b", "a", None], dtype=object))
+        assert uniques.tolist() == ["a", "b", None]
+        assert codes.tolist() == [1, 0, 2]
+
+    def test_group_by_mixed_type_column_no_typeerror(self):
+        schema = TableSchema.of(("g", ColumnType.VARCHAR), ("x", ColumnType.INT))
+        rs = RowSet.from_rows(schema, [(1, 1), ("a", 2), (1, 3), (None, 4)])
+        out = aggregate(
+            rs, ["g"], [AggregateSpec("sum", col("x"), "s")]
+        )
+        groups = {r[0]: r[1] for r in out.to_pylist()}
+        assert groups == {1: 4, "a": 2, None: 4}
