@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke wm-smoke bench bench-smoke obs-demo
+.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke wm-smoke engine-smoke bench bench-smoke obs-demo
 
 # Default flow: lint, then the tier-1 suite.
 default: lint test
@@ -11,7 +11,7 @@ test:
 
 # Inner-loop subset: everything except the sim campaigns and slow sweeps.
 test-fast:
-	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos and not wm"
+	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos and not wm and not engine"
 
 # Lint with ruff when available; fall back to a syntax sweep (compileall)
 # so `make lint` is meaningful in offline environments without ruff.
@@ -36,6 +36,11 @@ chaos-smoke:
 # the wm-slot-accounting invariant (slots == running queries, zero leaks).
 wm-smoke:
 	$(PY) -m pytest tests/test_wm_campaign.py -m wm -q
+
+# Batched-engine confidence check: the full differential + property wall
+# proving pipelined execution bit-identical to the materializing engine.
+engine-smoke:
+	$(PY) -m pytest tests/test_engine_differential.py tests/test_engine_property.py -m engine -q
 
 # Longer chaos run straight from the CLI (prints per-seed digests).
 sim-campaign:

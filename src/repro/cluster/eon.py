@@ -54,6 +54,7 @@ from repro.common.clock import SimClock
 from repro.common.types import ColumnType, SchemaColumn, TableSchema
 from repro.engine.cost import CostModel
 from repro.engine.executor import Executor, QueryResult
+from repro.engine.pipeline import EngineStats
 from repro.engine.planner import plan_query, plan_slot_demand
 from repro.errors import (
     CatalogError,
@@ -105,6 +106,8 @@ class EonCluster:
         observability: Optional[Observability] = None,
         parallel_io: bool = True,
         io_config: Optional[IOSchedulerConfig] = None,
+        batched: bool = False,
+        batch_size: int = 1024,
         _bootstrap: bool = True,
     ):
         if not node_names:
@@ -135,6 +138,11 @@ class EonCluster:
         self.io_scheduler = (
             IOScheduler(self, io_config) if parallel_io else None
         )
+        #: Default execution mode for queries; per-query ``batched=`` /
+        #: ``batch_size=`` / ``sip=`` session options override it.
+        self.batched = batched
+        self.batch_size = batch_size
+        self.engine_stats = EngineStats()
         self.coordinator = CommitCoordinator(self)
         self.reaper = FileReaper(self)
         self.subclusters: Dict[str, Set[str]] = {}
@@ -770,6 +778,13 @@ class EonCluster:
         ticket=None,
         **session_options,
     ) -> QueryResult:
+        # Engine options are executor-level, not session-level: pop them
+        # before anything (crunch probe, create_session) sees the kwargs.
+        engine_options = {
+            "batched": session_options.pop("batched", self.batched),
+            "batch_size": session_options.pop("batch_size", self.batch_size),
+            "sip": session_options.pop("sip", True),
+        }
         if session is None and session_options.get("crunch") == "auto":
             session_options["crunch"] = self._choose_crunch_mode(
                 statement, **{k: v for k, v in session_options.items() if k != "crunch"}
@@ -794,7 +809,8 @@ class EonCluster:
                 # driver's) spans the whole query including failover
                 # retries; without one, each attempt admits itself.
                 return self._execute_statement(
-                    statement, current, request_text, penalty, ticket
+                    statement, current, request_text, penalty, ticket,
+                    engine_options,
                 )
             except (NodeDown, TransientStorageError) as exc:
                 attempt += 1
@@ -832,6 +848,7 @@ class EonCluster:
         request_text: Optional[str],
         penalty: float = 0.0,
         ticket=None,
+        engine_options: Optional[Dict[str, object]] = None,
     ) -> QueryResult:
         """One execution attempt against an already-selected session."""
         snapshot = session.snapshots[session.initiator]
@@ -866,16 +883,19 @@ class EonCluster:
             # tables it reads, mid-materialization).
             record = self.obs.enabled and not system_names
             executor = Executor(
-                provider, self.cost_model, obs=self.obs if record else None
+                provider, self.cost_model, obs=self.obs if record else None,
+                **(engine_options or {}),
             )
             if not record:
                 result = executor.execute(plan)
                 if extra:
                     result.stats.dispatch_seconds += extra
-                return result
-            return self._record_query(
-                statement, session, executor, plan, request_text, extra
-            )
+            else:
+                result = self._record_query(
+                    statement, session, executor, plan, request_text, extra
+                )
+            self.engine_stats.note(executor)
+            return result
         finally:
             if own_ticket is not None:
                 self.admission.release(own_ticket)

@@ -97,12 +97,25 @@ class EonStorageProvider(StorageProvider):
         cost = getattr(self.cluster.shared, "cost", None)
         #: Dollars per GET on the shared backend (0 for cost-free backends).
         self._get_dollars = cost.get_cost() if cost is not None else 0.0
+        #: Set by the batched executor; scans defer lane charging into it.
+        self._pipeline = None
 
     def participants(self) -> List[str]:
         return self.session.participants()
 
     def initiator(self) -> str:
         return self.session.initiator
+
+    def make_pipeline_charges(self):
+        scheduler = getattr(self.cluster, "io_scheduler", None)
+        if scheduler is None:
+            return None
+        from repro.engine.pipeline import PipelineCharges
+
+        return PipelineCharges(self.cluster.clock, scheduler.config.lanes)
+
+    def attach_pipeline(self, charges) -> None:
+        self._pipeline = charges
 
     @property
     def preserves_segmentation(self) -> bool:
@@ -180,6 +193,7 @@ class EonStorageProvider(StorageProvider):
             batch = scheduler.fetch_batch(
                 node, fetch_requests, session.use_cache, result,
                 cancelled=lambda: session.cancelled,
+                pool=self._pipeline,
             )
 
         # Pass 2: scan the containers (bytes come out of the batch; any

@@ -26,8 +26,10 @@ from repro.engine.operators import (
     AggregateSpec,
     aggregate,
     hash_join,
+    join_match_mask,
     sort_limit,
 )
+from repro.engine.pipeline import EngineStats, PipelineCharges, chunk_rows
 from repro.engine.plan import (
     AggregateNode,
     FilterNode,
@@ -54,7 +56,11 @@ __all__ = [
     "AggregateSpec",
     "aggregate",
     "hash_join",
+    "join_match_mask",
     "sort_limit",
+    "EngineStats",
+    "PipelineCharges",
+    "chunk_rows",
     "PlanNode",
     "ScanNode",
     "FilterNode",

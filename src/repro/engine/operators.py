@@ -478,6 +478,35 @@ def hash_join(
     return RowSet(TableSchema(schema_cols), out_cols)
 
 
+def join_match_mask(
+    left: RowSet,
+    right: RowSet,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+) -> np.ndarray:
+    """Boolean mask over ``left``: which probe rows have a build match.
+
+    Uses the same tuple-keyed dict probing as :func:`hash_join` so its
+    equality semantics (including ``None`` keys matching ``None``) carry
+    over exactly — the batched LEFT join splits each probe batch with this
+    mask, joins the matched rows inner per batch, and defers the unmatched
+    rows to one padded tail batch, reproducing the serial join's
+    all-matched-then-all-unmatched row order.
+    """
+    if len(left_keys) != len(right_keys):
+        raise ValueError("join key lists differ in length")
+    build: Dict[tuple, bool] = {}
+    right_key_cols = [right.column(k) for k in right_keys]
+    for i in range(right.num_rows):
+        build[tuple(c[i] for c in right_key_cols)] = True
+    left_key_cols = [left.column(k) for k in left_keys]
+    mask = np.zeros(left.num_rows, dtype=bool)
+    for i in range(left.num_rows):
+        if build.get(tuple(c[i] for c in left_key_cols)):
+            mask[i] = True
+    return mask
+
+
 # ---------------------------------------------------------------------------
 # sort / limit
 

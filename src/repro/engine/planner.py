@@ -35,6 +35,8 @@ from repro.engine.plan import (
     ProjectNode,
     ScanNode,
     SortNode,
+    probe_spine_scan,
+    walk,
 )
 from repro.errors import PlanningError
 from repro.sql.binder import BoundQuery
@@ -152,12 +154,31 @@ def plan_query(bound: BoundQuery, catalog: CatalogState) -> PhysicalPlan:
     if bound.limit is not None or bound.offset:
         node = LimitNode(node, bound.limit, bound.offset)
 
+    _annotate_sip(node)
     return PhysicalPlan(
         root=node,
         projections_used=projections,
         alignment=alignment,
         single_node=alignment is None,
     )
+
+
+def _annotate_sip(root: PlanNode) -> None:
+    """Resolve each inner equi-join's SIP target at plan time.
+
+    Single-key inner joins whose probe key traces to a base column of a
+    probe-spine scan are annotated with that scan; the batched executor
+    pushes an IN-list of build-side key values into the scan's predicate
+    (sideways information passing), shrinking what the scan fetches and
+    decodes.  Multi-key and outer joins are left alone.
+    """
+    for n in walk(root):
+        if (
+            isinstance(n, JoinNode)
+            and n.how == "inner"
+            and len(n.left_keys) == 1
+        ):
+            n.sip_scan, n.sip_column = probe_spine_scan(n.left, n.left_keys[0])
 
 
 # ---------------------------------------------------------------------------

@@ -244,7 +244,7 @@ class IOScheduler:
     # -- the batch fetch -------------------------------------------------------
 
     def fetch_batch(
-        self, node, requests, use_cache, result, cancelled=None
+        self, node, requests, use_cache, result, cancelled=None, pool=None
     ) -> FetchBatch:
         """Fetch a scan's file set; returns the bytes keyed by storage name.
 
@@ -254,6 +254,13 @@ class IOScheduler:
         nullary callable) is polled between fetch units: queries must stay
         cancellable at file boundaries even mid-batch ("Vertica cannot
         hang waiting for S3 to respond", section 5.3).
+
+        ``pool`` (a :class:`~repro.engine.pipeline.PipelineCharges`) defers
+        this batch's lane makespan to a per-query settlement instead of
+        charging it here — the pipelined executor's driver-issued prefetch,
+        which keeps lanes busy across scan boundaries.  Every demand-side
+        effect (cache.get calls, misses, puts, S3 requests, retries) is
+        identical with or without a pool; only the timing charge moves.
         """
         config = self.config
         clock = self.cluster.clock
@@ -423,9 +430,12 @@ class IOScheduler:
         # fold it into the batch's I/O seconds (serially: backoff stalls
         # the retry loop, not a lane) so throttled scans report higher
         # latency, matching the serial fetch path's accounting.
-        result.io_seconds += makespan + hit_seconds + (
-            shared.metrics.retry_backoff_seconds - backoff_before
-        )
+        backoff_seconds = shared.metrics.retry_backoff_seconds - backoff_before
+        if pool is not None:
+            pool.add(node.name, durations, makespan)
+            result.io_seconds += hit_seconds + backoff_seconds
+        else:
+            result.io_seconds += makespan + hit_seconds + backoff_seconds
         self.stats.fetched_files += len(fetched_keys)
         self.stats.fetched_bytes += total_fetched_bytes
         if obs.enabled:

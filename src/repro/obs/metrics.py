@@ -422,4 +422,12 @@ def cluster_metrics(cluster) -> dict:
                 "rejected_busy": pool.rejected_busy,
             }
         wm["pools"] = pools
-    return {"depot": depot, "io": io, "s3": s3, "recovery": recovery, "wm": wm}
+
+    engine: Dict[str, object] = {}
+    engine_stats = getattr(cluster, "engine_stats", None)
+    if engine_stats is not None:
+        engine = engine_stats.as_dict()
+    return {
+        "depot": depot, "io": io, "s3": s3, "recovery": recovery, "wm": wm,
+        "engine": engine,
+    }

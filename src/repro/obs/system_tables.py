@@ -433,6 +433,12 @@ class SystemTableProvider(StorageProvider):
     def preserves_segmentation(self) -> bool:
         return self._base.preserves_segmentation
 
+    def make_pipeline_charges(self):
+        return self._base.make_pipeline_charges()
+
+    def attach_pipeline(self, charges) -> None:
+        self._base.attach_pipeline(charges)
+
     def scan(
         self,
         node: str,

@@ -88,18 +88,25 @@ class CopyBatch:
 
 @dataclass(frozen=True)
 class Query:
-    """Run a SELECT on the chaos cluster and diff it against the oracle."""
+    """Run a SELECT on the chaos cluster and diff it against the oracle.
+
+    ``batch_size`` switches the query onto the pipelined batch engine; the
+    result is additionally logged to ``world.batch_checks`` against the
+    serial oracle digest so the ``batch-digest-parity`` invariant audits
+    every batched query the campaign ran."""
 
     sql: str
     crunch: Optional[str] = None  # None | "hash" | "container"
     nodes_per_shard: int = 1
+    batch_size: Optional[int] = None
 
     name = "query"
 
     def detail(self) -> str:
+        suffix = f" [batch={self.batch_size}]" if self.batch_size else ""
         if self.crunch:
-            return f"{self.sql} [crunch={self.crunch}x{self.nodes_per_shard}]"
-        return self.sql
+            return f"{self.sql} [crunch={self.crunch}x{self.nodes_per_shard}]{suffix}"
+        return f"{self.sql}{suffix}"
 
     def apply(self, world) -> str:
         if world.cluster.shut_down:
@@ -107,6 +114,9 @@ class Query:
         options = {}
         if self.crunch:
             options = {"crunch": self.crunch, "nodes_per_shard": self.nodes_per_shard}
+        if self.batch_size:
+            options["batched"] = True
+            options["batch_size"] = self.batch_size
         try:
             actual = rows_key(world.cluster.query(self.sql, **options))
         except StorageUnavailable:
@@ -123,6 +133,8 @@ class Query:
                 f"query {self.sql!r} read a missing object: {exc}",
             )
         expected = world.oracle.query_rows(self.sql)
+        if self.batch_size:
+            world.note_batch_check(self.sql, self.batch_size, actual, expected)
         if actual != expected:
             raise InvariantViolation(
                 "oracle-equivalence",
@@ -706,11 +718,15 @@ class KillMidQuery:
     """
 
     sql: str
+    #: When set, the doomed query runs on the batched engine — failover
+    #: must replay the pipeline from scratch and still match the oracle.
+    batch_size: Optional[int] = None
 
     name = "kill_mid_query"
 
     def detail(self) -> str:
-        return self.sql
+        suffix = f" [batch={self.batch_size}]" if self.batch_size else ""
+        return f"{self.sql}{suffix}"
 
     def _survivable_victims(self, world, participants) -> List[str]:
         cluster = world.cluster
@@ -759,10 +775,15 @@ class KillMidQuery:
             except (QuorumLost, ShardCoverageLost):
                 return "shutdown"
             statement = parse(self.sql)[0]
+            options = (
+                {"batched": True, "batch_size": self.batch_size}
+                if self.batch_size
+                else {}
+            )
             try:
                 actual = rows_key(
                     cluster.query_statement(
-                        statement, session=session, failover=True
+                        statement, session=session, failover=True, **options
                     )
                 )
             except NodeDown as exc:
@@ -786,6 +807,8 @@ class KillMidQuery:
                     world.step,
                     f"failover query {self.sql!r} read a missing object: {exc}",
                 )
+            if self.batch_size:
+                world.note_batch_check(self.sql, self.batch_size, actual, expected)
             if actual != expected:
                 raise InvariantViolation(
                     "oracle-equivalence",

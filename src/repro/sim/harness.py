@@ -8,14 +8,17 @@ a schedule (the replay artifact) and each step into a :class:`Trace`
 digest).  On a violation it stops and reports ``(seed, step)``; the
 schedule can then be replayed verbatim or shrunk (:mod:`repro.sim.shrink`).
 
-All nondeterminism flows from exactly three seeded streams — the
-generator's RNG, the cluster RNG, and the S3 fault injector's RNG — and
+All nondeterminism flows from a fixed set of seeded streams — the
+generator's RNGs (menu draws and batch-size draws are separate streams so
+batching never shifts the action schedule), the cluster RNG, and the S3
+fault injector's RNG — and
 invariant checks use only out-of-band accessors, so a campaign is a pure
 function of its seed.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -83,6 +86,10 @@ class SimWorld:
         self.cleanup_completed = False
         #: ``clock.now`` before the current step, for the monotone check.
         self.clock_floor = 0.0
+        #: Batched-query parity log: (step, sql, batch_size, match) entries
+        #: written by Query/KillMidQuery when they run on the batch engine;
+        #: the ``batch-digest-parity`` invariant audits it every step.
+        self.batch_checks: List[tuple] = []
         self._setup_schema()
 
     def _setup_schema(self) -> None:
@@ -132,6 +139,17 @@ class SimWorld:
     def release_all_pins(self) -> None:
         for tag in sorted(self.pins):
             self.release_pin(tag)
+
+    # -- batched-engine parity log ---------------------------------------------
+
+    def note_batch_check(self, sql: str, batch_size: int, actual, expected) -> None:
+        """Record one batched-vs-oracle digest comparison (bounded log)."""
+        digest = hashlib.sha256(repr(actual).encode()).hexdigest()
+        oracle_digest = hashlib.sha256(repr(expected).encode()).hexdigest()
+        self.batch_checks.append(
+            (self.step, sql, batch_size, digest == oracle_digest)
+        )
+        del self.batch_checks[:-256]
 
 
 class CampaignResult:

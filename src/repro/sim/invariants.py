@@ -222,6 +222,22 @@ def wm_slot_accounting(world) -> Optional[str]:
     return None
 
 
+def batch_digest_parity(world) -> Optional[str]:
+    """Every query the generator ran through the batched engine produced
+    exactly the oracle's rows: the per-step parity log written by
+    ``Query``/``KillMidQuery`` actions contains no mismatched digests."""
+    checks = getattr(world, "batch_checks", None)
+    if not checks:
+        return None
+    for step, sql, batch_size, match in checks:
+        if not match:
+            return (
+                f"batched run (batch_size={batch_size}) diverged from the "
+                f"oracle at step {step}: {sql!r}"
+            )
+    return None
+
+
 Invariant = Callable[[object], Optional[str]]
 
 DEFAULT_INVARIANTS: Tuple[Tuple[str, Invariant], ...] = (
@@ -234,6 +250,7 @@ DEFAULT_INVARIANTS: Tuple[Tuple[str, Invariant], ...] = (
     ("catalog-version-sync", catalog_versions_in_step),
     ("degraded-pairing", degraded_pairing),
     ("wm-slot-accounting", wm_slot_accounting),
+    ("batch-digest-parity", batch_digest_parity),
 )
 
 

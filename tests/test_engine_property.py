@@ -1,0 +1,126 @@
+"""Property tests for batch-boundary semantics (PR 6 satellite).
+
+Hypothesis drives the batched engine across the operator corners that
+only exist when rows arrive in chunks: NULL runs straddling a batch
+boundary, group keys split across batches, DISTINCT / LIMIT / OFFSET
+windows landing mid-batch, empty batches, and batch sizes larger than
+the whole table.  The materializing engine is the oracle; results must
+be *exactly* equal (no canonicalization — same engine, same float
+summation order is part of the contract).
+"""
+
+from typing import List, Optional, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import EonCluster
+
+pytestmark = pytest.mark.engine
+
+#: 90 rows, 3-row NULL runs in ``g`` (so runs straddle any small batch
+#: boundary), group keys interleaved, and a float column whose partial
+#: sums are order-sensitive.
+ROWS = [
+    (
+        i,
+        None if (i // 3) % 4 == 0 else f"g{i % 5}",
+        float(i % 13) * 0.375 - 1.5,
+    )
+    for i in range(90)
+]
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    c = EonCluster(["n1", "n2", "n3"], shard_count=3, seed=29)
+    c.execute("create table t (k int, g varchar, v float)")
+    c.load("t", ROWS)
+    c.execute("create table empty_t (k int, g varchar, v float)")
+    return c
+
+
+batch_sizes = st.sampled_from([1, 2, 3, 5, 7, 64, 89, 90, 91, 4096])
+
+
+@st.composite
+def queries(draw) -> str:
+    """A query whose output is deterministic (totally ordered or a single
+    aggregate row), so exact equality is well-defined."""
+    kind = draw(st.sampled_from(
+        ["agg", "group", "distinct", "window", "count_distinct"]
+    ))
+    where = draw(st.sampled_from([
+        "", " where g is null", " where g is not null",
+        " where k < 47", " where v > 0 and k >= 11",
+    ]))
+    if kind == "agg":
+        return f"select count(*), sum(v), min(k), max(v) from t{where}"
+    if kind == "group":
+        return (
+            f"select g, count(*) c, sum(v) s from t{where} "
+            "group by g order by g"
+        )
+    if kind == "count_distinct":
+        return f"select count(distinct g), count(distinct k) from t{where}"
+    limit = draw(st.integers(min_value=0, max_value=95))
+    offset = draw(st.integers(min_value=0, max_value=95))
+    if kind == "distinct":
+        return (
+            f"select distinct g from t{where} order by g "
+            f"limit {limit} offset {offset}"
+        )
+    return (
+        f"select k, g, v from t{where} order by k "
+        f"limit {limit} offset {offset}"
+    )
+
+
+class TestBatchBoundaryProperties:
+    @given(sql=queries(), batch_size=batch_sizes)
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_batched_equals_materializing(self, cluster, sql, batch_size):
+        expected = cluster.query(sql, batched=False).rows.to_pylist()
+        got = cluster.query(
+            sql, batched=True, batch_size=batch_size, sip=False
+        ).rows.to_pylist()
+        assert got == expected, f"{sql!r} @ batch_size={batch_size}"
+
+    @given(batch_size=batch_sizes)
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_empty_table_yields_one_empty_batch(self, cluster, batch_size):
+        for sql in (
+            "select count(*), sum(v) from empty_t",
+            "select g, count(*) c from empty_t group by g order by g",
+            "select k from empty_t order by k limit 3",
+        ):
+            expected = cluster.query(sql, batched=False).rows.to_pylist()
+            got = cluster.query(
+                sql, batched=True, batch_size=batch_size
+            ).rows.to_pylist()
+            assert got == expected, sql
+
+    def test_batch_size_larger_than_table_is_single_batch(self, cluster):
+        result = cluster.query(
+            "select sum(v) from t", batched=True, batch_size=100_000
+        )
+        assert result.rows.to_pylist() == cluster.query(
+            "select sum(v) from t", batched=False
+        ).rows.to_pylist()
+        # One batch per participating fragment, never zero, never split.
+        engine = cluster.engine_stats
+        assert engine.last_batch_size == 100_000
+
+    def test_invalid_batch_size_rejected(self, cluster):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            cluster.query("select count(*) from t", batched=True, batch_size=0)
