@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke wm-smoke engine-smoke bench bench-smoke obs-demo
+.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke wm-smoke engine-smoke autoscale-smoke bench bench-smoke obs-demo
 
 # Default flow: lint, then the tier-1 suite.
 default: lint test
@@ -11,7 +11,7 @@ test:
 
 # Inner-loop subset: everything except the sim campaigns and slow sweeps.
 test-fast:
-	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos and not wm and not engine"
+	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos and not wm and not engine and not autoscale"
 
 # Lint with ruff when available; fall back to a syntax sweep (compileall)
 # so `make lint` is meaningful in offline environments without ruff.
@@ -36,6 +36,12 @@ chaos-smoke:
 # the wm-slot-accounting invariant (slots == running queries, zero leaks).
 wm-smoke:
 	$(PY) -m pytest tests/test_wm_campaign.py -m wm -q
+
+# Autoscaler confidence check: autoscale-boosted chaos campaigns (the
+# autoscale-safety invariant after every step), the hibernate/revive
+# digest round-trip, and the scaled-down diurnal trace.
+autoscale-smoke:
+	$(PY) -m pytest tests/test_autoscale_campaign.py -m autoscale -q
 
 # Batched-engine confidence check: the full differential + property wall
 # proving pipelined execution bit-identical to the materializing engine.

@@ -171,6 +171,9 @@ class EonCluster:
         #: Set by ServiceScheduler.__init__ so v_monitor can reach service
         #: stats without the cluster owning a scheduler.
         self.service_scheduler = None
+        #: Set by repro.autoscale.Autoscaler when one is attached, so
+        #: v_monitor.autoscale_events and cluster_metrics can reach it.
+        self.autoscaler = None
         # Outage windows are clock-driven; bind the cluster clock to the
         # backend's fault injector when it has one.
         faults = getattr(self.shared, "faults", None)
@@ -710,6 +713,15 @@ class EonCluster:
                 # The whole subcluster is down: the workload escapes to the
                 # rest of the cluster (section 4.3's failure clause).
                 candidates = sorted(n.name for n in self.up_nodes())
+            # Steer new sessions away from draining pools (scale-in in
+            # progress) when any non-draining node can take them; with
+            # nothing draining this filter is the identity, so session
+            # placement — and therefore every digest — is unchanged.
+            draining = set(self.admission.draining_nodes())
+            if draining:
+                open_candidates = [c for c in candidates if c not in draining]
+                if open_candidates:
+                    candidates = open_candidates
             if not candidates:
                 raise NodeDown("no up node available as initiator")
             initiator = candidates[seed % len(candidates)]

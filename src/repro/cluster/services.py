@@ -42,6 +42,10 @@ class ServiceIntervals:
     mergeout: Optional[float] = 120.0
     reaper: Optional[float] = 300.0
     rebalance: Optional[float] = 60.0
+    #: The elastic autoscaler (repro.autoscale).  Disabled by default —
+    #: it only runs when an Autoscaler has been attached via
+    #: :meth:`ServiceScheduler.attach_autoscaler`.
+    autoscale: Optional[float] = None
 
 
 @dataclass
@@ -53,6 +57,8 @@ class ServiceStats:
     rebalance_runs: int = 0
     rebalance_promotions: int = 0
     rebalance_subscriptions: int = 0
+    autoscale_ticks: int = 0
+    autoscale_actions: int = 0
     errors: int = 0
     #: Service runs skipped because the cluster was degraded (S3 outage).
     skipped_outage: int = 0
@@ -66,6 +72,8 @@ class ServiceScheduler:
         self.intervals = intervals or ServiceIntervals()
         self.mergeout_service = MergeoutCoordinatorService(cluster)
         self.rebalancer = SubscriptionRebalancer(cluster)
+        #: Attached via :meth:`attach_autoscaler`; None means disabled.
+        self.autoscaler = None
         self.stats = ServiceStats()
         #: Per-service visibility for permanently failing services: total
         #: runs, swallowed-error counts, and the text of the last error.
@@ -85,7 +93,16 @@ class ServiceScheduler:
         self.run_mergeout()
         self.run_reaper()
         self.run_rebalancer()
+        self.run_autoscale()
         return self.stats
+
+    def attach_autoscaler(self, autoscaler, interval: Optional[float] = None) -> None:
+        """Register an :class:`repro.autoscale.Autoscaler` as the sixth
+        service.  ``interval`` (seconds) enables its clock loop; omit it
+        to drive the scaler only via :meth:`tick` / :meth:`run_autoscale`."""
+        self.autoscaler = autoscaler
+        if interval is not None:
+            self.intervals.autoscale = interval
 
     def _tracer(self):
         obs = getattr(self.cluster, "obs", None)
@@ -181,6 +198,25 @@ class ServiceScheduler:
         except ReproError as exc:
             self._note_error("rebalance", exc)
 
+    def run_autoscale(self) -> None:
+        """One autoscaler control-loop pass: repair interrupted
+        transitions, sample telemetry, decide, actuate.  A no-op until an
+        autoscaler is attached."""
+        if self.autoscaler is None:
+            return
+        if self._paused("autoscale"):
+            return
+        self._note_run("autoscale")
+        try:
+            with self._tracer().span("service.autoscale") as span:
+                decision = self.autoscaler.run()
+                span.annotate(action=decision.action, reason=decision.reason)
+            self.stats.autoscale_ticks += 1
+            if decision.action != "hold":
+                self.stats.autoscale_actions += 1
+        except ReproError as exc:
+            self._note_error("autoscale", exc)
+
     # -- clock-driven operation --------------------------------------------------
 
     def start(self, duration: Optional[float] = None) -> None:
@@ -210,6 +246,7 @@ class ServiceScheduler:
             (self.intervals.mergeout, self.run_mergeout),
             (self.intervals.reaper, self.run_reaper),
             (self.intervals.rebalance, self.run_rebalancer),
+            (self.intervals.autoscale, self.run_autoscale),
         ]
         for interval, action in pairs:
             if interval is not None:

@@ -79,15 +79,17 @@ class AdmissionRejected(ReproError):
     """The workload manager refused to admit a query.
 
     Raised when a resource pool's queue is full, when a queued admission
-    waited past the pool's queue timeout, or when a synchronous caller
-    (no event loop running) asks for slots that are currently busy.  The
-    statement never started executing; retrying after backoff is safe.
+    waited past the pool's queue timeout, when a synchronous caller
+    (no event loop running) asks for slots that are currently busy, when
+    the pool's overload breaker is shedding arrivals, or when the pool is
+    draining for scale-in.  The statement never started executing;
+    retrying after backoff is safe.
     """
 
     def __init__(self, message: str, pool: str = "", reason: str = "rejected"):
         super().__init__(message)
         self.pool = pool
-        #: ``queue_full`` | ``timeout`` | ``busy``
+        #: ``queue_full`` | ``timeout`` | ``busy`` | ``shed`` | ``draining``
         self.reason = reason
 
 

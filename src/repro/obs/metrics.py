@@ -420,8 +420,26 @@ def cluster_metrics(cluster) -> dict:
                 "timeouts": pool.timeouts,
                 "rejected_queue_full": pool.rejected_queue_full,
                 "rejected_busy": pool.rejected_busy,
+                "rejected_draining": pool.rejected_draining,
+                "sheds": pool.sheds,
+                "breaker_trips": pool.breaker_trips,
+                "draining": pool.draining,
             }
         wm["pools"] = pools
+        wm["sheds"] = sum(p.sheds for p in admission.pools.values())
+
+    autoscale: Dict[str, object] = {}
+    scaler = getattr(cluster, "autoscaler", None)
+    if scaler is not None:
+        autoscale = {
+            "ticks": scaler.ticks,
+            "decisions": dict(scaler.decisions),
+            "managed_subcluster": scaler.actuator.subcluster,
+            "managed_nodes": scaler.actuator.size(),
+            "pending_removals": len(scaler.actuator.pending_removals),
+            "hibernated": scaler.actuator.hibernated,
+            "events": len(scaler.events),
+        }
 
     engine: Dict[str, object] = {}
     engine_stats = getattr(cluster, "engine_stats", None)
@@ -429,5 +447,5 @@ def cluster_metrics(cluster) -> dict:
         engine = engine_stats.as_dict()
     return {
         "depot": depot, "io": io, "s3": s3, "recovery": recovery, "wm": wm,
-        "engine": engine,
+        "autoscale": autoscale, "engine": engine,
     }

@@ -212,6 +212,9 @@ def _resource_queues(cluster) -> List[tuple]:
                 pool.timeouts,
                 pool.rejected_queue_full,
                 pool.rejected_busy,
+                pool.sheds,
+                pool.rejected_draining,
+                1 if pool.draining else 0,
             )
         )
     return rows
@@ -264,6 +267,26 @@ def _services(cluster) -> List[tuple]:
             scheduler.last_errors.get(name, ""),
         )
         for name in sorted(names)
+    ]
+
+
+def _autoscale_events(cluster) -> List[tuple]:
+    # Served from the autoscaler the cluster registered (if any); same
+    # absent-is-empty discipline as v_monitor.services.
+    scaler = getattr(cluster, "autoscaler", None)
+    if scaler is None:
+        return []
+    return [
+        (
+            e.event_id,
+            e.at_seconds,
+            e.action,
+            e.subcluster,
+            e.node,
+            e.outcome,
+            e.detail,
+        )
+        for e in scaler.events
     ]
 
 
@@ -341,6 +364,7 @@ SYSTEM_TABLES: Dict[str, SystemTableDef] = {
                 ("peak_queue_depth", _I), ("queued_admissions", _I),
                 ("queue_wait_seconds", _F), ("timeouts", _I),
                 ("rejected_queue_full", _I), ("rejected_busy", _I),
+                ("sheds", _I), ("rejected_draining", _I), ("draining", _I),
             ),
             _resource_queues,
         ),
@@ -351,6 +375,15 @@ SYSTEM_TABLES: Dict[str, SystemTableDef] = {
                 ("last_error", _S),
             ),
             _services,
+        ),
+        SystemTableDef(
+            "autoscale_events",
+            _schema(
+                ("event_id", _I), ("at_seconds", _F), ("action", _S),
+                ("subcluster", _S), ("node", _S), ("outcome", _S),
+                ("detail", _S),
+            ),
+            _autoscale_events,
         ),
         SystemTableDef(
             "dc_storage_operations",

@@ -16,7 +16,12 @@ from repro.sim.harness import (
     replay_schedule,
     run_campaign,
 )
-from repro.sim.generator import ChaosScenarioGenerator, ScenarioGenerator
+from repro.sim.generator import (
+    AutoscaleScenarioGenerator,
+    ChaosScenarioGenerator,
+    ScenarioGenerator,
+    WorkloadScenarioGenerator,
+)
 from repro.sim.invariants import (
     DEFAULT_INVARIANTS,
     InvariantRegistry,
@@ -27,6 +32,7 @@ from repro.sim.shrink import ShrinkResult, shrink_schedule
 from repro.sim.trace import Trace, TraceEvent
 
 __all__ = [
+    "AutoscaleScenarioGenerator",
     "CampaignConfig",
     "CampaignResult",
     "ChaosScenarioGenerator",
@@ -39,6 +45,7 @@ __all__ = [
     "SimWorld",
     "Trace",
     "TraceEvent",
+    "WorkloadScenarioGenerator",
     "replay_schedule",
     "rows_key",
     "run_campaign",

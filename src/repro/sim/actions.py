@@ -921,3 +921,71 @@ class QueryStorm:
         if "error:TransientStorageError" in outcomes:
             return "gave_up_transient"
         return "refused"
+
+
+@dataclass(frozen=True)
+class AutoscaleTick:
+    """One autoscaler control-loop tick: repair, sample, decide, actuate.
+
+    The first tick of a campaign lazily attaches an
+    :class:`~repro.autoscale.Autoscaler` with deliberately hair-trigger
+    thresholds (single-vote hysteresis, zero cooldown, tiny wait target)
+    so short campaigns reliably reach scale-out, scale-in, hibernate and
+    revive — the ``autoscale-safety`` invariant then audits the actuator
+    after every step.  The action takes no parameters and consumes no
+    generator-RNG draws, so adding it to a menu cannot shift any other
+    action's schedule.
+
+    Outcome extends the vocabulary with the decision taken: ``"ok"`` for
+    a hold, else the action name (``scale_out`` | ``scale_in`` |
+    ``hibernate`` | ``revive``).
+    """
+
+    name = "autoscale_tick"
+
+    def detail(self) -> str:
+        return ""
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        if cluster.refresh_degraded():
+            # The real service pauses during outages (skipped_outage);
+            # mirror that here rather than burning actuator errors.
+            return "paused_outage"
+        scaler = getattr(world, "autoscaler", None)
+        if scaler is None:
+            from repro.autoscale import Autoscaler, PolicyConfig
+
+            scaler = Autoscaler(
+                cluster,
+                config=PolicyConfig(
+                    target_wait_seconds=0.05,
+                    scale_out_pressure=0.1,
+                    scale_in_pressure=0.05,
+                    up_votes=1,
+                    down_votes=2,
+                    hibernate_idle_votes=2,
+                    cooldown_seconds=0.0,
+                    min_nodes=0,
+                    max_nodes=2,
+                    scale_step=1,
+                ),
+            )
+            world.autoscaler = scaler
+        before = set(cluster.nodes)
+        try:
+            decision = scaler.run()
+        except StorageUnavailable:
+            return "storage_unavailable"
+        except TransientStorageError:
+            return "gave_up_transient"
+        removed = [n for n in sorted(before) if n not in cluster.nodes]
+        for name in removed:
+            world.release_pins_touching(name)
+        if removed or set(cluster.nodes) - before:
+            # Topology changed: the live-instance-prefix set a completed
+            # leaked-file sweep was judged against is stale.
+            world.cleanup_completed = False
+        return "ok" if decision.action == "hold" else decision.action

@@ -303,6 +303,26 @@ class WorkloadScenarioGenerator(ScenarioGenerator):
         return menu
 
 
+class AutoscaleScenarioGenerator(WorkloadScenarioGenerator):
+    """The ``make autoscale-smoke`` configuration: the workload menu
+    (query storms make queue telemetry move) plus a boosted
+    ``autoscale_tick`` so short campaigns exercise scale-out, scale-in,
+    hibernate and revive under chaos.  The tick action carries no
+    parameters and draws nothing from the RNG streams, so the base
+    corpus's schedules are unaffected — only campaigns run with *this*
+    generator see autoscale actions."""
+
+    def _menu(self, world):
+        menu = super()._menu(world)
+        if world.cluster.shut_down:
+            return menu
+        menu.append((12.0, self._autoscale_tick))
+        return menu
+
+    def _autoscale_tick(self, world) -> act.AutoscaleTick:
+        return act.AutoscaleTick()
+
+
 class ChaosScenarioGenerator(ScenarioGenerator):
     """The ``make chaos-smoke`` configuration: the recovery-path actions
     (``kill_mid_query``, ``s3_outage``) pinned on with boosted weights, so

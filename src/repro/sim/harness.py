@@ -90,6 +90,9 @@ class SimWorld:
         #: written by Query/KillMidQuery when they run on the batch engine;
         #: the ``batch-digest-parity`` invariant audits it every step.
         self.batch_checks: List[tuple] = []
+        #: Attached lazily by the first ``autoscale_tick`` action; the
+        #: ``autoscale-safety`` invariant audits it every later step.
+        self.autoscaler = None
         self._setup_schema()
 
     def _setup_schema(self) -> None:

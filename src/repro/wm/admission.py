@@ -245,6 +245,7 @@ class AdmissionController:
         self.refresh()
         demand = self.clamp_demand(demand)
         pool = self.pool_for(initiator)
+        self._check_draining(pool)
         busy = [
             node
             for node, amount in demand.items()
@@ -267,8 +268,29 @@ class AdmissionController:
         self.refresh()
         demand = self.clamp_demand(demand)
         pool = self.pool_for(initiator)
+        self._check_draining(pool)
+        if self.clock.now < pool.shed_until:
+            # Breaker open: shed in O(1).  Waiters already in the queue
+            # keep their place — a queued AcquireAll cannot be revoked
+            # without stranding its blocked process — so shedding is an
+            # arrival-side guarantee only.
+            pool.sheds += 1
+            self._count("wm.sheds", pool=pool.name)
+            self._count("wm.rejected", pool=pool.name, reason="shed")
+            raise AdmissionRejected(
+                f"pool {pool.name!r}: shedding load until "
+                f"t={pool.shed_until:.3f} (queue overflowed)",
+                pool=pool.name,
+                reason="shed",
+            )
         if pool.queued >= pool.config.max_queue_depth:
             pool.rejected_queue_full += 1
+            if pool.config.shed_cooldown_seconds > 0:
+                pool.shed_until = (
+                    self.clock.now + pool.config.shed_cooldown_seconds
+                )
+                pool.breaker_trips += 1
+                self._count("wm.breaker_trips", pool=pool.name)
             self._count("wm.rejected", pool=pool.name, reason="queue_full")
             raise AdmissionRejected(
                 f"pool {pool.name!r}: queue full "
@@ -288,6 +310,37 @@ class AdmissionController:
         self._count("wm.queued", pool=pool.name)
         self._gauge_queue_depth(pool)
         return pending
+
+    def _check_draining(self, pool: ResourcePool) -> None:
+        if not pool.draining:
+            return
+        pool.rejected_draining += 1
+        self._count("wm.rejected", pool=pool.name, reason="draining")
+        raise AdmissionRejected(
+            f"pool {pool.name!r}: draining (no new admissions)",
+            pool=pool.name,
+            reason="draining",
+        )
+
+    def set_draining(self, pool_name: str, draining: bool = True) -> None:
+        """Mark a pool draining (admit nothing new, let tickets finish)
+        or reopen it.  Unknown pools are created so a drain can be staged
+        before the first admission ever touches the pool."""
+        pool = self.pools.get(pool_name)
+        if pool is None:
+            pool = self.pools[pool_name] = ResourcePool(pool_name, self.config)
+        pool.draining = draining
+
+    def draining_nodes(self) -> List[str]:
+        """Members of draining pools (initiator steering skips these)."""
+        if not any(pool.draining for pool in self.pools.values()):
+            return []
+        self.refresh()
+        out: List[str] = []
+        for pool in self.pools.values():
+            if pool.draining:
+                out.extend(pool.members)
+        return sorted(out)
 
     def release(self, ticket: AdmissionTicket) -> None:
         """Give a ticket's slots back; idempotent (finally-block safe)."""

@@ -30,6 +30,11 @@ class PoolConfig:
     #: A queued admission that waited longer than this is rejected when
     #: its turn finally comes (simulated seconds).
     queue_timeout_seconds: float = 30.0
+    #: After the queue overflows, arrivals are shed (fast typed rejection,
+    #: no queueing) for this many simulated seconds — the circuit-breaker
+    #: half of the backpressure pattern: under sustained overload new work
+    #: fails in O(1) instead of every waiter riding to ``queue_timeout``.
+    shed_cooldown_seconds: float = 5.0
 
 
 class ResourcePool:
@@ -40,6 +45,19 @@ class ResourcePool:
         self.config = config
         #: Member node names, kept current by the controller's refresh.
         self.members: List[str] = []
+        #: While True the pool admits nothing new (sync or queued) but
+        #: lets already-granted tickets run to completion — the graceful
+        #: drain primitive used by autoscale scale-in.
+        self.draining = False
+        #: Admissions refused because the pool was draining.
+        self.rejected_draining = 0
+        #: Sim-clock instant until which arrivals are shed (circuit
+        #: breaker open); 0.0 means closed.
+        self.shed_until = 0.0
+        #: Arrivals shed while the breaker was open.
+        self.sheds = 0
+        #: Times the breaker tripped (queue overflow under overload).
+        self.breaker_trips = 0
         #: Admissions currently waiting in this pool's queue.
         self.queued = 0
         self.peak_queue_depth = 0
