@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke wm-smoke engine-smoke autoscale-smoke bench bench-smoke obs-demo
+.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke wm-smoke engine-smoke autoscale-smoke pushdown-smoke bench bench-smoke obs-demo
 
 # Default flow: lint, then the tier-1 suite.
 default: lint test
@@ -11,7 +11,7 @@ test:
 
 # Inner-loop subset: everything except the sim campaigns and slow sweeps.
 test-fast:
-	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos and not wm and not engine and not autoscale"
+	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos and not wm and not engine and not autoscale and not pushdown"
 
 # Lint with ruff when available; fall back to a syntax sweep (compileall)
 # so `make lint` is meaningful in offline environments without ruff.
@@ -47,6 +47,12 @@ autoscale-smoke:
 # proving pipelined execution bit-identical to the materializing engine.
 engine-smoke:
 	$(PY) -m pytest tests/test_engine_differential.py tests/test_engine_property.py -m engine -q
+
+# Pushdown confidence check: the scan-strategy differential + property wall
+# (pushdown on/off bit-identical digests and depot demand) plus the
+# pushdown-race simulation campaigns.
+pushdown-smoke:
+	$(PY) -m pytest tests/test_pushdown_differential.py tests/test_pushdown_property.py tests/test_pushdown_campaign.py -m pushdown -q
 
 # Longer chaos run straight from the CLI (prints per-seed digests).
 sim-campaign:

@@ -423,6 +423,7 @@ class EnterpriseCluster:
         batched: Optional[bool] = None,
         batch_size: Optional[int] = None,
         sip: bool = True,
+        pushdown: str = "off",
     ) -> QueryResult:
         from collections import Counter
 
@@ -452,6 +453,9 @@ class EnterpriseCluster:
                     batched=self.batched if batched is None else batched,
                     batch_size=self.batch_size if batch_size is None else batch_size,
                     sip=sip,
+                    # Local-disk provider: ``set_pushdown`` is the ABC no-op,
+                    # so the option is accepted for API parity but inert.
+                    pushdown=pushdown,
                 )
                 result = executor.execute(plan)
                 self.engine_stats.note(executor)

@@ -108,6 +108,7 @@ class EonCluster:
         io_config: Optional[IOSchedulerConfig] = None,
         batched: bool = False,
         batch_size: int = 1024,
+        pushdown: str = "auto",
         _bootstrap: bool = True,
     ):
         if not node_names:
@@ -142,6 +143,9 @@ class EonCluster:
         #: ``batch_size=`` / ``sip=`` session options override it.
         self.batched = batched
         self.batch_size = batch_size
+        #: Default scan-strategy policy (``auto`` | ``on`` | ``off``);
+        #: the per-query ``pushdown=`` session option overrides it.
+        self.pushdown = pushdown
         self.engine_stats = EngineStats()
         self.coordinator = CommitCoordinator(self)
         self.reaper = FileReaper(self)
@@ -796,6 +800,7 @@ class EonCluster:
             "batched": session_options.pop("batched", self.batched),
             "batch_size": session_options.pop("batch_size", self.batch_size),
             "sip": session_options.pop("sip", True),
+            "pushdown": session_options.pop("pushdown", self.pushdown),
         }
         if session is None and session_options.get("crunch") == "auto":
             session_options["crunch"] = self._choose_crunch_mode(

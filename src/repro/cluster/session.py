@@ -21,6 +21,11 @@ import numpy as np
 
 from repro.cache.disk_cache import ObjectInfo
 from repro.catalog.catalog import CatalogSnapshot
+from repro.engine.cost import (
+    choose_scan_strategy,
+    estimate_pushdown_bytes,
+    estimate_selectivity,
+)
 from repro.engine.executor import ScanResult, StorageProvider
 from repro.engine.expressions import Expr, extract_column_bounds
 from repro.engine.pruning import prune_containers
@@ -99,6 +104,16 @@ class EonStorageProvider(StorageProvider):
         self._get_dollars = cost.get_cost() if cost is not None else 0.0
         #: Set by the batched executor; scans defer lane charging into it.
         self._pipeline = None
+        #: Pushdown mode (off | auto | on), set by the executor from the
+        #: session option; and the planner's per-scan eligibility hint.
+        self._pushdown = "off"
+        self._scan_eligible = False
+
+    def set_pushdown(self, mode: str) -> None:
+        self._pushdown = mode
+
+    def note_scan_eligibility(self, eligible: bool) -> None:
+        self._scan_eligible = bool(eligible)
 
     def participants(self) -> List[str]:
         return self.session.participants()
@@ -152,9 +167,16 @@ class EonStorageProvider(StorageProvider):
         # Pass 1: resolve each assignment's post-pruning container list and
         # collect the full storage-file set the scan will read.  Handing
         # the whole batch to the I/O scheduler up front is what lets it
-        # dedupe, coalesce, and overlap the fetches (see repro.io).
+        # dedupe, coalesce, and overlap the fetches (see repro.io).  Each
+        # container also gets its scan strategy here; pushdown-chosen
+        # containers STAY in the fetch batch (as background hydration) so
+        # the depot's demand ledger — misses, puts, LRU order, GET
+        # requests, fault draws — is bit-identical to a pushdown-off run.
+        scheduler = getattr(self.cluster, "io_scheduler", None)
         scan_units: List[tuple] = []
         fetch_requests: List[FetchRequest] = []
+        pushdown_keys: Set[str] = set()
+        pushdown_items: List[tuple] = []
         ordinal = 0
         for shard_id, sub_index, share_count in assignments:
             containers = state.containers_of(projection, shard_id)
@@ -176,38 +198,73 @@ class EonStorageProvider(StorageProvider):
             )
             for container in kept:
                 info = self._object_info(state, container)
+                dvs = state.delete_vectors_for(str(container.sid))
+                strategy = self._container_strategy(
+                    node, state, projection, container, read_columns,
+                    predicate, predicate_bounds, bool(dvs), scheduler,
+                    hash_crunch,
+                )
+                if strategy == "pushdown":
+                    pushdown_keys.add(container.location)
+                    pushdown_items.append(
+                        (container.location, list(read_columns), predicate)
+                    )
                 fetch_requests.append(
                     FetchRequest(
                         container.location, container.size_bytes, ordinal, info
                     )
                 )
-                for dv in state.delete_vectors_for(str(container.sid)):
+                for dv in dvs:
                     fetch_requests.append(
                         FetchRequest(dv.location, dv.size_bytes, ordinal, info)
                     )
                 ordinal += 1
 
-        scheduler = getattr(self.cluster, "io_scheduler", None)
         batch = None
         if scheduler is not None and fetch_requests:
             batch = scheduler.fetch_batch(
                 node, fetch_requests, session.use_cache, result,
                 cancelled=lambda: session.cancelled,
                 pool=self._pipeline,
+                background_keys=pushdown_keys or None,
+            )
+        # Selects run after the batch so the GET request (and fault-draw)
+        # sequence is the off-run's sequence, with SELECTs appended.
+        selects: Dict[str, object] = {}
+        if scheduler is not None and pushdown_items:
+            selects = scheduler.pushdown_batch(
+                node, pushdown_items, result,
+                cancelled=lambda: session.cancelled,
+                pool=self._pipeline,
             )
 
         # Pass 2: scan the containers (bytes come out of the batch; any
         # file the batch does not cover takes the serial fetch path).
+        # Pushdown containers take their rows from the select results —
+        # already filtered and projected server-side; the executor's
+        # post-scan predicate re-application is a no-op on them — but
+        # still consume their hydration bytes for prefetch-credit parity.
         for kept, hash_crunch, read_columns, seg_cols, share_count, sub_index in scan_units:
             for container in kept:
                 if session.cancelled:
                     raise QueryCancelled(
                         f"session cancelled while scanning {projection!r}"
                     )
-                rows = self._read_container(
-                    node, state, container, read_columns, result,
-                    predicate_bounds, batch,
-                )
+                select = selects.get(container.location)
+                if select is not None:
+                    scheduler.consume(batch, node, container.location, result)
+                    rows = select.rows
+                    # Parity counters: what the depot path would have booked
+                    # for this container (same pruning logic server-side).
+                    result.blocks_pruned += select.blocks_pruned
+                    result.pushdown_rows_filtered += (
+                        select.rows_examined - rows.num_rows
+                    )
+                else:
+                    rows = self._read_container(
+                        node, state, container, read_columns, result,
+                        predicate_bounds, batch,
+                    )
                 if hash_crunch and rows.num_rows:
                     hashes = shard_map.hash_rowset(rows, seg_cols)
                     rows = rows.filter(
@@ -220,7 +277,82 @@ class EonStorageProvider(StorageProvider):
                 result.containers_scanned += 1
         if parts:
             result.rows = RowSet.concat(parts)
+        if not session.use_cache:
+            result.scan_strategy = "get"
+        elif selects:
+            result.scan_strategy = "pushdown"
+        else:
+            result.scan_strategy = "depot"
         return result
+
+    def _container_strategy(
+        self,
+        node,
+        state,
+        projection: str,
+        container: ROSContainer,
+        read_columns: Sequence[str],
+        predicate: Optional[Expr],
+        predicate_bounds: Optional[dict],
+        has_delete_vectors: bool,
+        scheduler,
+        hash_crunch: bool = False,
+    ) -> str:
+        """Pick depot / get / pushdown for one container (see
+        :func:`repro.engine.cost.choose_scan_strategy` for the table).
+
+        Estimates are only computed on the ``auto`` break-even path:
+        scanned bytes from the touched-column fraction of the container,
+        returned bytes from interval-overlap selectivity against the
+        container's min/max stats.  Serial scans (no I/O scheduler) never
+        push down — pushdown rides the scheduler's own lane — and neither
+        do hash-crunch shares (the secondary hash split would hide the
+        raw row count the parity accounting needs).
+        """
+        session = self.session
+        shared = self.cluster.shared_data
+        supports = bool(getattr(shared, "supports_select", False))
+        eligible = (
+            self._scan_eligible
+            and predicate is not None
+            and scheduler is not None
+            and not hash_crunch
+        )
+        resident = session.use_cache and node.cache.contains(container.location)
+        fetch_seconds = pushdown_seconds = 0.0
+        if (
+            self._pushdown == "auto"
+            and eligible
+            and supports
+            and not resident
+            and session.use_cache
+            and not has_delete_vectors
+        ):
+            proj = state.projections.get(projection)
+            if proj is None or not proj.columns:
+                # Live-aggregate containers: no base-table column map to
+                # estimate against, and their scans carry no predicate.
+                return "depot"
+            touched = list(dict.fromkeys(read_columns))
+            scanned_est = int(
+                container.size_bytes * len(touched) / max(1, len(proj.columns))
+            )
+            selectivity = estimate_selectivity(predicate_bounds or {}, container)
+            returned_est = estimate_pushdown_bytes(scanned_est, selectivity)
+            pushdown_seconds = shared.estimate_select_seconds(
+                scanned_est, returned_est
+            )
+            fetch_seconds = shared.estimate_read_seconds(container.size_bytes)
+        return choose_scan_strategy(
+            self._pushdown,
+            resident=resident,
+            use_cache=session.use_cache,
+            has_delete_vectors=has_delete_vectors,
+            eligible=eligible,
+            supports_select=supports,
+            fetch_seconds=fetch_seconds,
+            pushdown_seconds=pushdown_seconds,
+        )
 
     # -- internals ---------------------------------------------------------------
 

@@ -49,6 +49,10 @@ class NodeWork:
     prefetch_hits: int = 0
     peer_fetches: int = 0
     coalesced_gets: int = 0
+    #: Server-side pushdown accounting: containers scanned via
+    #: ``select_scan`` and the stored bytes those scans touched.
+    pushdown_scans: int = 0
+    bytes_scanned: int = 0
 
     @property
     def busy_seconds(self) -> float:
@@ -109,3 +113,85 @@ class QueryStats:
     @property
     def total_coalesced_gets(self) -> int:
         return sum(w.coalesced_gets for w in self.per_node.values())
+
+    @property
+    def total_pushdown_scans(self) -> int:
+        return sum(w.pushdown_scans for w in self.per_node.values())
+
+    @property
+    def total_bytes_scanned(self) -> int:
+        return sum(w.bytes_scanned for w in self.per_node.values())
+
+
+# ---------------------------------------------------------------------------
+# scan-strategy selection (depot vs raw GET vs server-side pushdown)
+
+
+def estimate_selectivity(bounds: Dict[str, tuple], container) -> float:
+    """Fraction of a container's rows a predicate plausibly keeps.
+
+    Classic interval-overlap estimate against the container's per-column
+    min/max metadata (the same stats container pruning uses): each bounded
+    numeric column contributes ``overlap(bound, [min, max]) / span`` and
+    columns multiply as if independent.  Non-numeric or stat-less columns
+    contribute nothing (selectivity 1.0 for that column); a degenerate span
+    (min == max) contributes 1.0 when the bound covers the point.  Purely a
+    *planning* estimate — strategy choice may be wrong, never the rows.
+    """
+    selectivity = 1.0
+    for column, (lo, hi) in bounds.items():
+        cmin, cmax = container.min_of(column), container.max_of(column)
+        if not isinstance(cmin, (int, float)) or not isinstance(cmax, (int, float)):
+            continue
+        if isinstance(cmin, bool) or isinstance(cmax, bool):
+            continue
+        lo_eff = cmin if lo is None or not isinstance(lo, (int, float)) else max(float(lo), float(cmin))
+        hi_eff = cmax if hi is None or not isinstance(hi, (int, float)) else min(float(hi), float(cmax))
+        if lo_eff > hi_eff:
+            return 0.0
+        span = float(cmax) - float(cmin)
+        if span <= 0:
+            continue
+        selectivity *= (hi_eff - lo_eff) / span
+    return selectivity
+
+
+def estimate_pushdown_bytes(scanned_bytes: int, selectivity: float) -> int:
+    """Bytes a select would *return* given bytes it must scan: the scanned
+    columns shrunk by the predicate's estimated selectivity."""
+    return int(scanned_bytes * max(0.0, min(1.0, selectivity)))
+
+
+def choose_scan_strategy(
+    mode: str,
+    *,
+    resident: bool,
+    use_cache: bool,
+    has_delete_vectors: bool,
+    eligible: bool,
+    supports_select: bool,
+    fetch_seconds: float,
+    pushdown_seconds: float,
+) -> str:
+    """Pick how one container reaches the scan: ``depot``, ``get``, or
+    ``pushdown``.
+
+    The decision table (also in DESIGN.md):
+
+    * no depot session (``use_cache=False``) — raw ``get``, never cached;
+    * container already resident — ``depot`` (nothing beats a warm hit);
+    * ``mode=off``, backend without select support, delete vectors present,
+      or a scan the planner did not mark eligible — ``depot`` (cold fetch);
+    * ``mode=on`` — ``pushdown`` (operator override);
+    * ``mode=auto`` — ``pushdown`` only when the cost model estimates the
+      select to be strictly faster than the cold-depot fetch.
+    """
+    if not use_cache:
+        return "get"
+    if resident:
+        return "depot"
+    if mode == "off" or not supports_select or has_delete_vectors or not eligible:
+        return "depot"
+    if mode == "on":
+        return "pushdown"
+    return "pushdown" if pushdown_seconds < fetch_seconds else "depot"

@@ -82,6 +82,15 @@ class ScanResult:
     prefetch_hits: int = 0
     peer_fetches: int = 0
     coalesced_gets: int = 0
+    # Server-side pushdown accounting: containers answered by select_scan,
+    # stored bytes those selects touched, and the scan's strategy label
+    # ("depot" | "get" | "pushdown"; "" for providers without the notion).
+    pushdown_scans: int = 0
+    bytes_scanned: int = 0
+    scan_strategy: str = ""
+    #: Rows the server-side predicate removed before the wire; added back
+    #: into ``rows_scanned`` so scan accounting is strategy-invariant.
+    pushdown_rows_filtered: int = 0
 
 
 class StorageProvider(abc.ABC):
@@ -111,6 +120,14 @@ class StorageProvider(abc.ABC):
         """False when the session splits shards in a way that breaks the
         co-location property (container-split crunch scaling)."""
         return True
+
+    def set_pushdown(self, mode: str) -> None:
+        """Accept the session's pushdown mode (off | auto | on).
+
+        Default: ignore — providers without server-side compute (the
+        Enterprise cluster, test fakes) scan exactly as before.
+        """
+        return None
 
     # -- pipelined (batched) execution hooks -----------------------------------
     # Providers with a parallel I/O scheduler override these so the batched
@@ -159,9 +176,16 @@ class Executor:
         batched: bool = False,
         batch_size: int = 1024,
         sip: bool = True,
+        pushdown: str = "auto",
     ):
         self.provider = provider
         self.cost = cost_model or CostModel()
+        if pushdown not in ("auto", "on", "off"):
+            raise ExecutionError(
+                f"pushdown must be auto|on|off, got {pushdown!r}"
+            )
+        self.pushdown = pushdown
+        self.provider.set_pushdown(pushdown)
         self.stats = QueryStats()
         self._broadcast_cache: Dict[int, RowSet] = {}
         # Observability is opt-in; ``None`` keeps every hot path at a
@@ -207,6 +231,13 @@ class Executor:
                 self.provider.attach_pipeline(None)
         if self.batched:
             self._note_pipeline(rows)
+        if self._obs is not None and self.stats.total_pushdown_scans:
+            self._obs.metrics.counter("engine.pushdown_scans").inc(
+                self.stats.total_pushdown_scans
+            )
+            self._obs.metrics.counter("s3.bytes_scanned").inc(
+                self.stats.total_bytes_scanned
+            )
         return QueryResult(rows=rows, stats=self.stats, plan=plan)
 
     def _settle_pipeline(self) -> None:
@@ -384,11 +415,18 @@ class Executor:
 
     # -- observability hooks -------------------------------------------------------
 
+    def _hint_pushdown(self, node: ScanNode) -> None:
+        """Hand the planner's eligibility verdict to providers that care
+        (getattr-based so bare test providers need no new surface)."""
+        note = getattr(self.provider, "note_scan_eligibility", None)
+        if note is not None:
+            note(node.pushdown_eligible)
+
     def _note_op(self, operator: str, node_name: str, rows: int, seconds: float,
                  *, bytes_from_cache: int = 0, bytes_from_shared: int = 0,
                  depot_hits: int = 0, depot_misses: int = 0,
                  s3_requests: int = 0, s3_dollars: float = 0.0,
-                 detail: str = "") -> None:
+                 detail: str = "", scan_strategy: str = "") -> None:
         if self._obs is None:
             return
         from repro.obs.profile import OperatorProfile
@@ -407,6 +445,7 @@ class Executor:
                 s3_requests=s3_requests,
                 s3_dollars=s3_dollars,
                 detail=detail,
+                scan_strategy=scan_strategy,
             )
         )
 
@@ -443,6 +482,7 @@ class Executor:
     def _eval_fragment(self, node: PlanNode, participant: str) -> RowSet:
         work = self.stats.node(participant)
         if isinstance(node, ScanNode):
+            self._hint_pushdown(node)
             result = self.provider.scan(
                 participant,
                 node.projection,
@@ -453,13 +493,15 @@ class Executor:
             work.io_seconds += result.io_seconds
             work.bytes_from_cache += result.bytes_from_cache
             work.bytes_from_shared += result.bytes_from_shared
-            work.rows_scanned += result.rows.num_rows
+            work.rows_scanned += result.rows.num_rows + result.pushdown_rows_filtered
             work.containers_scanned += result.containers_scanned
             work.containers_pruned += result.containers_pruned
             work.blocks_pruned += result.blocks_pruned
             work.prefetch_hits += result.prefetch_hits
             work.peer_fetches += result.peer_fetches
             work.coalesced_gets += result.coalesced_gets
+            work.pushdown_scans += result.pushdown_scans
+            work.bytes_scanned += result.bytes_scanned
             decode_cpu = (
                 result.rows.num_rows * len(node.columns) * self.cost.cell_cpu_seconds
             )
@@ -481,6 +523,7 @@ class Executor:
                 s3_requests=result.s3_requests,
                 s3_dollars=result.s3_dollars,
                 detail=node.projection,
+                scan_strategy=result.scan_strategy,
             )
             return rows
         if isinstance(node, FilterNode):
@@ -555,6 +598,7 @@ class Executor:
         work = self.stats.node(participant)
         if isinstance(node, ScanNode):
             predicate = self._effective_predicate(node, participant)
+            self._hint_pushdown(node)
             result = self.provider.scan(
                 participant,
                 node.projection,
@@ -565,13 +609,15 @@ class Executor:
             work.io_seconds += result.io_seconds
             work.bytes_from_cache += result.bytes_from_cache
             work.bytes_from_shared += result.bytes_from_shared
-            work.rows_scanned += result.rows.num_rows
+            work.rows_scanned += result.rows.num_rows + result.pushdown_rows_filtered
             work.containers_scanned += result.containers_scanned
             work.containers_pruned += result.containers_pruned
             work.blocks_pruned += result.blocks_pruned
             work.prefetch_hits += result.prefetch_hits
             work.peer_fetches += result.peer_fetches
             work.coalesced_gets += result.coalesced_gets
+            work.pushdown_scans += result.pushdown_scans
+            work.bytes_scanned += result.bytes_scanned
             decode_cpu = (
                 result.rows.num_rows * len(node.columns) * self.cost.cell_cpu_seconds
             )
@@ -599,6 +645,7 @@ class Executor:
                 s3_requests=result.s3_requests,
                 s3_dollars=result.s3_dollars,
                 detail=node.projection,
+                scan_strategy=result.scan_strategy,
             )
             return
         if isinstance(node, FilterNode):

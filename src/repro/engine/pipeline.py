@@ -93,9 +93,17 @@ class EngineStats:
     #: their gap is the I/O overlap the pipeline driver won.
     io_serial_seconds: float = 0.0
     io_pipelined_seconds: float = 0.0
+    #: Server-side pushdown: containers answered by select_scan and the
+    #: stored bytes those selects touched, across both execution modes.
+    pushdown_scans: int = 0
+    bytes_scanned: int = 0
 
     def note(self, executor) -> None:
         """Fold one finished executor's counters in."""
+        stats = getattr(executor, "stats", None)
+        if stats is not None:
+            self.pushdown_scans += stats.total_pushdown_scans
+            self.bytes_scanned += stats.total_bytes_scanned
         if not getattr(executor, "batched", False):
             self.materializing_queries += 1
             return
@@ -122,4 +130,6 @@ class EngineStats:
             "io_serial_seconds": self.io_serial_seconds,
             "io_pipelined_seconds": self.io_pipelined_seconds,
             "io_overlap_seconds": self.io_overlap_seconds,
+            "pushdown_scans": self.pushdown_scans,
+            "bytes_scanned": self.bytes_scanned,
         }

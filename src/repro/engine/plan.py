@@ -48,11 +48,19 @@ class ScanNode(PlanNode):
     predicate: Optional[Expr] = None
     #: True when the projection is replicated — only one participant scans.
     replicated: bool = False
+    #: Set by the planner when this scan is a candidate for server-side
+    #: pushdown (selective bounded predicate, or a SIP filter will arrive);
+    #: the per-container strategy decision still rests with the cost model.
+    pushdown_eligible: bool = False
 
     def _label(self) -> str:
         pred = f" filter={self.predicate!r}" if self.predicate is not None else ""
         rep = " replicated" if self.replicated else ""
-        return f"Scan {self.table} via {self.projection} cols={list(self.columns)}{pred}{rep}"
+        push = " pushdown-eligible" if self.pushdown_eligible else ""
+        return (
+            f"Scan {self.table} via {self.projection} "
+            f"cols={list(self.columns)}{pred}{rep}{push}"
+        )
 
 
 @dataclass

@@ -127,6 +127,14 @@ class IOStats:
     #: Depot capacity violations observed right after a batch ``put``
     #: (i.e. *during* the parallel fetch) — must stay 0.
     capacity_violations: int = 0
+    #: Server-side pushdown lane (:meth:`IOScheduler.pushdown_batch`).
+    pushdown_batches: int = 0
+    pushdown_selects: int = 0
+    pushdown_bytes_scanned: int = 0
+    #: Fetch units demoted to background hydration because a pushdown scan
+    #: covers their containers (dollars and depot effects charged as usual;
+    #: latency off the scan's critical path).
+    background_fetches: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -141,6 +149,10 @@ class IOStats:
             "prefetched_files": self.prefetched_files,
             "double_fetches": self.double_fetches,
             "capacity_violations": self.capacity_violations,
+            "pushdown_batches": self.pushdown_batches,
+            "pushdown_selects": self.pushdown_selects,
+            "pushdown_bytes_scanned": self.pushdown_bytes_scanned,
+            "background_fetches": self.background_fetches,
         }
 
 
@@ -244,7 +256,8 @@ class IOScheduler:
     # -- the batch fetch -------------------------------------------------------
 
     def fetch_batch(
-        self, node, requests, use_cache, result, cancelled=None, pool=None
+        self, node, requests, use_cache, result, cancelled=None, pool=None,
+        background_keys=None,
     ) -> FetchBatch:
         """Fetch a scan's file set; returns the bytes keyed by storage name.
 
@@ -261,6 +274,15 @@ class IOScheduler:
         which keeps lanes busy across scan boundaries.  Every demand-side
         effect (cache.get calls, misses, puts, S3 requests, retries) is
         identical with or without a pool; only the timing charge moves.
+
+        ``background_keys`` marks keys whose containers a pushdown scan
+        will cover: the scan does not *wait* for them, so units made up
+        entirely of such keys are demoted to background depot hydration —
+        every demand-side effect (GET requests, dollars, misses, puts,
+        fault draws) is charged exactly as a foreground unit, in the same
+        order, but their lane makespan is dropped from the scan's critical
+        path.  A unit mixing background and foreground keys (coalescing
+        may group them) stays foreground, conservatively.
         """
         config = self.config
         clock = self.cluster.clock
@@ -336,8 +358,12 @@ class IOScheduler:
                 units.append(("s3", None, remainder))
 
         # Execute units in plan order, collecting per-unit durations for
-        # the lane charge.
+        # the lane charge.  Background units keep their position in the
+        # execution order (identical request/fault-draw sequence either
+        # way) but their durations are pooled separately.
+        background = background_keys or set()
         durations: List[float] = []
+        background_durations: List[float] = []
         fetched_keys: Set[str] = set()
         total_fetched_bytes = 0
         backoff_before = shared.metrics.retry_backoff_seconds
@@ -391,7 +417,11 @@ class IOScheduler:
                         obs.metrics.counter(
                             "io.coalesced_gets", node=node.name
                         ).inc()
-            durations.append(seconds)
+            if background and all(r.key in background for r in members):
+                background_durations.append(seconds)
+                self.stats.background_fetches += 1
+            else:
+                durations.append(seconds)
             total_fetched_bytes += unit_bytes
 
             for request in members:
@@ -426,6 +456,13 @@ class IOScheduler:
                 )
 
         makespan, lane_totals = clock.charge_parallel(durations, config.lanes)
+        # Background hydration occupies lanes "for free": its makespan is
+        # computed for observability but never folded into the scan's
+        # io_seconds or the pipeline pool — the pushdown scan it races
+        # already carries the critical-path charge.
+        background_makespan, _ = clock.charge_parallel(
+            background_durations, config.lanes
+        )
         # Retry backoff accumulated by this batch's units is query time —
         # fold it into the batch's I/O seconds (serially: backoff stalls
         # the retry loop, not a lane) so throttled scans report higher
@@ -452,8 +489,74 @@ class IOScheduler:
                 peer_fetches=sum(1 for k, _, _ in units if k == "peer"),
                 prefetched=len(batch.prefetched),
                 nbytes=total_fetched_bytes,
+                background_units=len(background_durations),
+                background_makespan=background_makespan,
             )
         return batch
+
+    def pushdown_batch(
+        self, node, items, result, cancelled=None, pool=None
+    ) -> Dict[str, object]:
+        """Run server-side selects for a scan's pushdown containers.
+
+        ``items`` is ``[(key, columns, predicate), ...]`` in container
+        order.  Pushdown requests ride their own lane pool and are never
+        coalesced — a select is container-addressed compute, not a byte
+        range — and they run *after* the batch fetch, so the GET request
+        and fault-draw sequence of a run with pushdown is the off-run's
+        sequence with SELECT draws appended, never interleaved.
+
+        Accounting: each select's dollars fold into ``result.s3_dollars``
+        (the per-query money ledger) but **not** ``result.s3_requests``,
+        which stays a GET counter so differential runs can compare GET
+        ledgers bit-for-bit; scanned bytes land on
+        ``result.bytes_scanned`` and the scheduler's pushdown stats.
+        """
+        clock = self.cluster.clock
+        shared = self.cluster.shared_data
+        obs = self.cluster.obs
+        selects: Dict[str, object] = {}
+        if not items:
+            return selects
+        self.stats.pushdown_batches += 1
+        durations: List[float] = []
+        backoff_before = shared.metrics.retry_backoff_seconds
+        for key, columns, predicate in items:
+            if cancelled is not None and cancelled():
+                raise QueryCancelled(
+                    "session cancelled between pushdown scan units"
+                )
+            select = retrying(
+                lambda k=key, c=columns, p=predicate: shared.select_scan(
+                    k, c, p
+                ),
+                shared.metrics,
+            )
+            selects[key] = select
+            durations.append(select.sim_seconds)
+            self.stats.pushdown_selects += 1
+            self.stats.pushdown_bytes_scanned += select.bytes_scanned
+            result.pushdown_scans += 1
+            result.bytes_scanned += select.bytes_scanned
+            result.s3_dollars += select.dollars
+            if obs.enabled:
+                obs.tracer.record(
+                    "pushdown",
+                    duration=select.sim_seconds,
+                    node=node.name,
+                    object=key,
+                    scanned=select.bytes_scanned,
+                    returned=select.bytes_returned,
+                    rows=select.rows.num_rows,
+                )
+        makespan, _ = clock.charge_parallel(durations, self.config.lanes)
+        backoff_seconds = shared.metrics.retry_backoff_seconds - backoff_before
+        if pool is not None:
+            pool.add(node.name, durations, makespan)
+            result.io_seconds += backoff_seconds
+        else:
+            result.io_seconds += makespan + backoff_seconds
+        return selects
 
     def consume(self, batch: Optional[FetchBatch], node, key: str, result):
         """Take ``key``'s bytes out of a batch, booking prefetch credit.

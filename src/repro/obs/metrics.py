@@ -388,6 +388,12 @@ def cluster_metrics(cluster) -> dict:
             "retries": m.transient_failures,
             "retry_backoff_seconds": m.retry_backoff_seconds,
         }
+        # Server-side compute (S3 Select analogue): SELECT op-class bytes
+        # are *scanned* stored bytes, kept out of the GET ledger above.
+        select = op_stats.get("SELECT") if op_stats else None
+        if select is not None:
+            s3["totals"]["select_requests"] = select.requests
+            s3["totals"]["bytes_scanned"] = select.bytes
 
     recovery: Dict[str, object] = {
         "failovers": getattr(cluster, "failovers", 0),

@@ -35,6 +35,9 @@ class OperatorProfile:
     s3_requests: int = 0
     s3_dollars: float = 0.0
     detail: str = ""
+    #: Scan operators only: how the scan reached storage
+    #: ("depot" | "get" | "pushdown"); empty for non-scan operators.
+    scan_strategy: str = ""
 
 
 @dataclass

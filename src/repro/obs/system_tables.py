@@ -124,6 +124,7 @@ def _query_profiles(cluster) -> List[tuple]:
                     op.s3_requests,
                     op.s3_dollars,
                     op.detail,
+                    op.scan_strategy,
                 )
             )
     return rows
@@ -327,6 +328,7 @@ SYSTEM_TABLES: Dict[str, SystemTableDef] = {
                 ("bytes_from_shared", _I), ("depot_hits", _I),
                 ("depot_misses", _I), ("s3_requests", _I),
                 ("s3_dollars", _F), ("detail", _S),
+                ("scan_strategy", _S),
             ),
             _query_profiles,
         ),
@@ -471,6 +473,14 @@ class SystemTableProvider(StorageProvider):
 
     def attach_pipeline(self, charges) -> None:
         self._base.attach_pipeline(charges)
+
+    def set_pushdown(self, mode: str) -> None:
+        self._base.set_pushdown(mode)
+
+    def note_scan_eligibility(self, eligible: bool) -> None:
+        note = getattr(self._base, "note_scan_eligibility", None)
+        if note is not None:
+            note(eligible)
 
     def scan(
         self,

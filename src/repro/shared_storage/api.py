@@ -122,6 +122,16 @@ class Filesystem(abc.ABC):
     def append(self, name: str, data: bytes) -> None:
         raise StorageError(f"{type(self).__name__} does not support append")
 
+    # -- optional server-side compute (S3-Select-style pushdown) ---------------
+
+    #: True when the backend can filter/project/partially-aggregate stored
+    #: containers server-side via :meth:`select_scan`.  The scan layer only
+    #: *plans* pushdown against backends that advertise support.
+    supports_select = False
+
+    def select_scan(self, name: str, columns=None, predicate=None, aggregates=None):
+        raise StorageError(f"{type(self).__name__} does not support select_scan")
+
     # -- cost estimation (used by the engine's cost model) ---------------------
 
     def estimate_read_seconds(self, nbytes: int) -> float:
@@ -129,6 +139,10 @@ class Filesystem(abc.ABC):
 
     def estimate_write_seconds(self, nbytes: int) -> float:
         return 0.0
+
+    def estimate_select_seconds(self, scanned_bytes: int, returned_bytes: int) -> float:
+        # Backends without server-side compute make pushdown unpayable.
+        return float("inf")
 
 
 T = TypeVar("T")
@@ -212,11 +226,23 @@ class RetryingFilesystem(Filesystem):
     def read_coalesced(self, names: List[str]) -> Dict[str, bytes]:
         return self._retry(lambda: self._base.read_coalesced(names))
 
+    @property
+    def supports_select(self) -> bool:
+        return self._base.supports_select
+
+    def select_scan(self, name: str, columns=None, predicate=None, aggregates=None):
+        return self._retry(
+            lambda: self._base.select_scan(name, columns, predicate, aggregates)
+        )
+
     def estimate_read_seconds(self, nbytes: int) -> float:
         return self._base.estimate_read_seconds(nbytes)
 
     def estimate_write_seconds(self, nbytes: int) -> float:
         return self._base.estimate_write_seconds(nbytes)
+
+    def estimate_select_seconds(self, scanned_bytes: int, returned_bytes: int) -> float:
+        return self._base.estimate_select_seconds(scanned_bytes, returned_bytes)
 
 
 class PrefixView(Filesystem):
@@ -270,8 +296,18 @@ class PrefixView(Filesystem):
         raw = self._base.read_coalesced([self._full(n) for n in names])
         return {full[plen:]: data for full, data in raw.items()}
 
+    @property
+    def supports_select(self) -> bool:
+        return self._base.supports_select
+
+    def select_scan(self, name: str, columns=None, predicate=None, aggregates=None):
+        return self._base.select_scan(self._full(name), columns, predicate, aggregates)
+
     def estimate_read_seconds(self, nbytes: int) -> float:
         return self._base.estimate_read_seconds(nbytes)
 
     def estimate_write_seconds(self, nbytes: int) -> float:
         return self._base.estimate_write_seconds(nbytes)
+
+    def estimate_select_seconds(self, scanned_bytes: int, returned_bytes: int) -> float:
+        return self._base.estimate_select_seconds(scanned_bytes, returned_bytes)

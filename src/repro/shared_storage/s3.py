@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import (
     ObjectNotFound,
@@ -38,7 +40,9 @@ __all__ = [
     "S3CostModel",
     "S3LatencyModel",
     "S3OpStats",
+    "SelectScanResult",
     "SimulatedS3",
+    "wire_bytes",
 ]
 
 
@@ -50,12 +54,25 @@ class S3LatencyModel:
     read_bandwidth: float = 90e6  # bytes / second per request stream
     write_bandwidth: float = 60e6
     list_seconds: float = 0.040
+    #: Server-side scan (S3-Select-style): same first-byte latency as a GET
+    #: (the request replaces the GET round trip), but the scanned bytes move
+    #: at the storage server's internal scan rate rather than the network,
+    #: and only the *returned* (filtered + projected) bytes cross the wire.
+    select_request_seconds: float = 0.030
+    scan_bandwidth: float = 600e6  # server-side bytes scanned / second
 
     def read_seconds(self, nbytes: int) -> float:
         return self.request_seconds + nbytes / self.read_bandwidth
 
     def write_seconds(self, nbytes: int) -> float:
         return self.request_seconds + nbytes / self.write_bandwidth
+
+    def select_seconds(self, scanned_bytes: int, returned_bytes: int) -> float:
+        return (
+            self.select_request_seconds
+            + scanned_bytes / self.scan_bandwidth
+            + returned_bytes / self.read_bandwidth
+        )
 
 
 @dataclass
@@ -66,6 +83,12 @@ class S3CostModel:
     get_per_1k: float = 0.0004
     list_per_1k: float = 0.005
     storage_per_gb_month: float = 0.023  # informational; not accrued per op
+    #: S3-Select-style pricing: a per-request fee plus per-GB charges for
+    #: bytes the server scans and bytes it returns (decimal GB, as on the
+    #: published price card).
+    select_per_1k: float = 0.0004
+    scan_per_gb: float = 0.002
+    return_per_gb: float = 0.0007
 
     def put_cost(self) -> float:
         return self.put_per_1k / 1000.0
@@ -75,6 +98,13 @@ class S3CostModel:
 
     def list_cost(self) -> float:
         return self.list_per_1k / 1000.0
+
+    def select_cost(self, scanned_bytes: int, returned_bytes: int) -> float:
+        return (
+            self.select_per_1k / 1000.0
+            + scanned_bytes / 1e9 * self.scan_per_gb
+            + returned_bytes / 1e9 * self.return_per_gb
+        )
 
 
 @dataclass
@@ -232,6 +262,69 @@ class S3OpStats:
         }
 
 
+def wire_bytes(rows) -> int:
+    """Approximate wire size of a :class:`~repro.storage.container.RowSet`.
+
+    Mirrors the engine's ``rowset_bytes`` network accounting (4 bytes of
+    framing per variable-width value plus its string payload; fixed-width
+    values at their dtype's itemsize) so the bytes a select *returns* are
+    priced with the same yardstick as bytes the engine ships between nodes.
+    Kept here rather than imported so shared_storage stays below the engine
+    in the layer graph.
+    """
+    total = 0
+    for name in rows.schema.names:
+        column = rows.column(name)
+        if column.dtype.kind == "O":
+            total += sum(4 + (len(v) if isinstance(v, str) else 0) for v in column)
+        else:
+            total += column.dtype.itemsize * len(column)
+    return total
+
+
+#: Wire framing charged per partial-aggregate value in a select response.
+AGGREGATE_WIRE_BYTES = 16
+
+
+@dataclass
+class SelectScanResult:
+    """What one :meth:`SimulatedS3.select_scan` call produced and cost."""
+
+    rows: object  # RowSet: filtered + projected rows, container order kept
+    aggregates: Dict[Tuple[str, Optional[str]], object] = field(default_factory=dict)
+    bytes_scanned: int = 0
+    bytes_returned: int = 0
+    sim_seconds: float = 0.0
+    dollars: float = 0.0
+    #: Parity counters: rows decoded before the predicate mask and block
+    #: footers pruned, computed with the *client's* pruning logic so a
+    #: depot-path scan of the same container books identical
+    #: ``rows_scanned`` / ``blocks_pruned`` stats.
+    rows_examined: int = 0
+    blocks_pruned: int = 0
+
+
+def _partial_aggregate(func: str, column: Optional[str], rows) -> object:
+    """One server-side partial aggregate over the post-filter rows.
+
+    Deterministic numpy semantics (NaN propagates through ``sum``); the
+    initiator combines partials exactly as it combines per-node partials,
+    so the property wall can recompute these client-side bit-for-bit.
+    """
+    if func == "count":
+        return int(rows.num_rows)
+    if column is None:
+        raise StorageError(f"aggregate {func!r} requires a column")
+    values = rows.column(column)
+    if func == "sum":
+        return values.sum().item() if len(values) else 0
+    if func == "min":
+        return values.min().item() if len(values) else None
+    if func == "max":
+        return values.max().item() if len(values) else None
+    raise StorageError(f"unsupported server-side aggregate {func!r}")
+
+
 class SimulatedS3(Filesystem):
     """In-process S3 stand-in with the real thing's sharp edges."""
 
@@ -248,7 +341,7 @@ class SimulatedS3(Filesystem):
         self._objects: Dict[str, bytes] = {}
         #: Per-request-class accounting alongside the aggregate ``metrics``.
         self.op_stats: Dict[str, S3OpStats] = {
-            op: S3OpStats() for op in ("GET", "PUT", "LIST", "DELETE")
+            op: S3OpStats() for op in ("GET", "PUT", "LIST", "DELETE", "SELECT")
         }
 
     # -- core operations -------------------------------------------------------
@@ -335,6 +428,101 @@ class SimulatedS3(Filesystem):
         stats.dollars += self.cost.get_cost()
         return out
 
+    #: Server-side compute (S3-Select-style filter/project/partial-aggregate)
+    #: is available on this backend; generic filesystems advertise False and
+    #: the scan layer falls back to whole-object GETs.
+    supports_select = True
+
+    def select_scan(
+        self,
+        name: str,
+        columns: Optional[Sequence[str]] = None,
+        predicate=None,
+        aggregates: Optional[Sequence[Tuple[str, Optional[str]]]] = None,
+    ) -> SelectScanResult:
+        """Server-side scan of one stored container image.
+
+        Filters rows with ``predicate`` (an engine expression; evaluated
+        exactly as the client would evaluate it), projects ``columns``
+        (container order preserved), and computes optional partial
+        ``aggregates`` — ``(func, column)`` pairs over the post-filter rows.
+
+        Accounting: the request is charged ``select_seconds``/``select_cost``
+        into the aggregate metrics and the ``SELECT`` op class, where the
+        byte count is *bytes scanned* — the stored size of every column file
+        the scan touched (projection ∪ predicate ∪ aggregate columns, and
+        the caller must list predicate columns in ``columns``).  GET
+        counters (``get_requests``/``bytes_read``) are never touched, so a
+        differential run can hold the GET ledger bit-identical while selects
+        ride on top.  ``bytes_scanned`` always charges the full stored size
+        of the touched columns (the server streams whole column files);
+        block pruning below only shapes the parity counters.
+        """
+        from repro.engine.expressions import extract_column_bounds
+        from repro.storage.container import read_container
+
+        self._maybe_fail("SELECT")
+        try:
+            data = self._objects[name]
+        except KeyError:
+            raise ObjectNotFound(name) from None
+        reader = read_container(data)
+        projection = list(columns) if columns is not None else list(reader.column_order)
+        agg_specs = [(func, col) for func, col in (aggregates or [])]
+        touched = list(
+            dict.fromkeys(projection + [c for _, c in agg_specs if c is not None])
+        )
+        missing = [c for c in touched if c not in reader._directory]
+        if missing:
+            raise StorageError(
+                f"select_scan on {name!r}: no such columns {missing}"
+            )
+        scanned = reader.stored_bytes(touched)
+        # Decode through the same block-pruning path a depot scan takes
+        # (same bounds extraction, same footer match), so ``rows_examined``
+        # and ``blocks_pruned`` are bit-identical to the client's counts.
+        bounds = extract_column_bounds(predicate) if predicate is not None else {}
+        blocks_pruned = 0
+        if bounds:
+            block_indices = reader.matching_blocks(bounds)
+            total_blocks = reader.block_count()
+            if len(block_indices) < total_blocks:
+                blocks_pruned = total_blocks - len(block_indices)
+                rows = reader.read_rowset_blocks(touched, list(block_indices))
+            else:
+                rows = reader.read_rowset(touched)
+        else:
+            rows = reader.read_rowset(touched)
+        rows_examined = rows.num_rows
+        if predicate is not None:
+            mask = np.asarray(predicate.evaluate(rows), dtype=bool)
+            rows = rows.filter(mask)
+        aggs = {
+            (func, col): _partial_aggregate(func, col, rows)
+            for func, col in agg_specs
+        }
+        out_rows = rows.select(projection)
+        returned = wire_bytes(out_rows) + AGGREGATE_WIRE_BYTES * len(agg_specs)
+        seconds = self.latency.select_seconds(scanned, returned)
+        dollars = self.cost.select_cost(scanned, returned)
+        self.metrics.sim_seconds += seconds
+        self.metrics.dollars += dollars
+        stats = self.op_stats["SELECT"]
+        stats.requests += 1
+        stats.bytes += scanned
+        stats.sim_seconds += seconds
+        stats.dollars += dollars
+        return SelectScanResult(
+            rows=out_rows,
+            aggregates=aggs,
+            bytes_scanned=scanned,
+            bytes_returned=returned,
+            sim_seconds=seconds,
+            dollars=dollars,
+            rows_examined=rows_examined,
+            blocks_pruned=blocks_pruned,
+        )
+
     def list(self, prefix: str = "") -> List[str]:
         self._maybe_fail("LIST")
         self.metrics.list_requests += 1
@@ -366,6 +554,9 @@ class SimulatedS3(Filesystem):
 
     def estimate_write_seconds(self, nbytes: int) -> float:
         return self.latency.write_seconds(nbytes)
+
+    def estimate_select_seconds(self, scanned_bytes: int, returned_bytes: int) -> float:
+        return self.latency.select_seconds(scanned_bytes, returned_bytes)
 
     # -- introspection ------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from repro.sim.harness import (
 from repro.sim.generator import (
     AutoscaleScenarioGenerator,
     ChaosScenarioGenerator,
+    PushdownScenarioGenerator,
     ScenarioGenerator,
     WorkloadScenarioGenerator,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "DEFAULT_INVARIANTS",
     "InvariantRegistry",
     "InvariantViolation",
+    "PushdownScenarioGenerator",
     "ScenarioGenerator",
     "ShrinkResult",
     "SimOracle",

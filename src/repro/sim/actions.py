@@ -203,6 +203,75 @@ class FetchStorm:
 
 
 @dataclass(frozen=True)
+class PushdownRace:
+    """Race the server-side pushdown scan against the depot fetch it
+    replaces.  Clear every up node's depot, run the statement with
+    pushdown forced *on* (selects answer the scan while background
+    hydration fills the depot), then immediately re-run with pushdown
+    *off* (served by the just-hydrated depot).  Both answers are diffed
+    against the oracle here; the on-vs-off comparison is additionally
+    logged to ``world.pushdown_checks`` so the ``pushdown-digest-parity``
+    invariant audits every race the campaign ran — and, via the SELECT
+    dollar watermark it keeps, that bytes-scanned charges only ever
+    accrue."""
+
+    sql: str
+    batch_size: Optional[int] = None
+
+    name = "pushdown_race"
+
+    def detail(self) -> str:
+        suffix = f" [batch={self.batch_size}]" if self.batch_size else ""
+        return f"{self.sql}{suffix}"
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        if cluster.refresh_degraded():
+            # The race needs S3 reachable twice over: the cold pushdown leg
+            # issues SELECTs and the hydration GETs behind them.
+            return "refused"
+        up = sorted(n.name for n in cluster.up_nodes())
+        if not up:
+            return "refused"
+        for name in up:
+            cluster.nodes[name].cache.clear()
+        options = {}
+        if self.batch_size:
+            options = {"batched": True, "batch_size": self.batch_size}
+        expected = world.oracle.query_rows(self.sql)
+        results = {}
+        for mode in ("on", "off"):
+            try:
+                results[mode] = rows_key(
+                    cluster.query(self.sql, pushdown=mode, **options)
+                )
+            except StorageUnavailable:
+                return "storage_unavailable"
+            except TransientStorageError:
+                return "gave_up_transient"
+            except ObjectNotFound as exc:
+                raise InvariantViolation(
+                    "catalog-storage",
+                    world.seed,
+                    world.step,
+                    f"pushdown race {self.sql!r} read a missing object: {exc}",
+                )
+        world.note_pushdown_check(self.sql, results["on"], results["off"])
+        for mode in ("on", "off"):
+            if results[mode] != expected:
+                raise InvariantViolation(
+                    "oracle-equivalence",
+                    world.seed,
+                    world.step,
+                    f"pushdown={mode} {self.sql!r}: "
+                    f"cluster={results[mode][:4]} oracle={expected[:4]}",
+                )
+        return "ok"
+
+
+@dataclass(frozen=True)
 class DmlStatement:
     """A DELETE or UPDATE mirrored onto the oracle, row counts compared."""
 

@@ -323,6 +323,35 @@ class AutoscaleScenarioGenerator(WorkloadScenarioGenerator):
         return act.AutoscaleTick()
 
 
+class PushdownScenarioGenerator(ScenarioGenerator):
+    """The ``make pushdown-smoke`` configuration: the base chaos menu plus
+    a boosted ``pushdown_race`` — cold-depot races of the server-side
+    pushdown scan against the depot fetch, feeding the
+    ``pushdown-digest-parity`` invariant.  Races use the WHERE'd pool
+    entries (selective predicates are what the pushdown path is for) and
+    draw only from the same generator streams the base menu uses; the
+    base generator's menu is untouched, so the base corpus's schedules
+    are unshifted — only campaigns run with *this* generator see races."""
+
+    def _menu(self, world):
+        menu = super()._menu(world)
+        cluster = world.cluster
+        if cluster.shut_down:
+            return menu
+        if not cluster.shared.outage_active:
+            menu.append((12.0, self._pushdown_race))
+        return menu
+
+    def _pushdown_race(self, world) -> act.PushdownRace:
+        # The last two pool templates carry {cut} predicates; the race is
+        # most interesting when the server has something to filter.
+        template = self.QUERY_POOL[4 + self.rng.randrange(2)]
+        return act.PushdownRace(
+            template.format(table=world.table, cut=self._cut()),
+            batch_size=self._batch_size(),
+        )
+
+
 class ChaosScenarioGenerator(ScenarioGenerator):
     """The ``make chaos-smoke`` configuration: the recovery-path actions
     (``kill_mid_query``, ``s3_outage``) pinned on with boosted weights, so

@@ -90,6 +90,12 @@ class SimWorld:
         #: written by Query/KillMidQuery when they run on the batch engine;
         #: the ``batch-digest-parity`` invariant audits it every step.
         self.batch_checks: List[tuple] = []
+        #: Pushdown-race parity log: (step, sql, match) entries written by
+        #: ``PushdownRace`` (pushdown-on rows vs depot rows); audited every
+        #: step by the ``pushdown-digest-parity`` invariant, which also
+        #: keeps this high-water mark for the SELECT dollar ledger.
+        self.pushdown_checks: List[tuple] = []
+        self.select_dollars_floor = 0.0
         #: Attached lazily by the first ``autoscale_tick`` action; the
         #: ``autoscale-safety`` invariant audits it every later step.
         self.autoscaler = None
@@ -153,6 +159,15 @@ class SimWorld:
             (self.step, sql, batch_size, digest == oracle_digest)
         )
         del self.batch_checks[:-256]
+
+    def note_pushdown_check(self, sql: str, pushdown_rows, depot_rows) -> None:
+        """Record one pushdown-vs-depot digest comparison (bounded log)."""
+        pushdown_digest = hashlib.sha256(repr(pushdown_rows).encode()).hexdigest()
+        depot_digest = hashlib.sha256(repr(depot_rows).encode()).hexdigest()
+        self.pushdown_checks.append(
+            (self.step, sql, pushdown_digest == depot_digest)
+        )
+        del self.pushdown_checks[:-256]
 
 
 class CampaignResult:

@@ -238,6 +238,33 @@ def batch_digest_parity(world) -> Optional[str]:
     return None
 
 
+def pushdown_digest_parity(world) -> Optional[str]:
+    """Racing a server-side pushdown scan against the depot fetch it
+    replaces changes nothing observable: (a) every ``pushdown_race`` the
+    campaign ran logged identical row digests for the pushdown-on and
+    depot runs; (b) the SELECT dollar ledger (request + bytes-scanned +
+    bytes-returned fees) is monotone — charges accrue, never regress —
+    tracked against a high-water mark kept on the world."""
+    checks = getattr(world, "pushdown_checks", None)
+    if checks:
+        for step, sql, match in checks:
+            if not match:
+                return (
+                    f"pushdown run diverged from the depot run at "
+                    f"step {step}: {sql!r}"
+                )
+    select = world.cluster.shared.op_stats.get("SELECT")
+    if select is not None:
+        floor = getattr(world, "select_dollars_floor", 0.0)
+        if select.dollars < floor - 1e-12:
+            return (
+                f"SELECT dollars regressed: {select.dollars:.9f} < "
+                f"watermark {floor:.9f}"
+            )
+        world.select_dollars_floor = select.dollars
+    return None
+
+
 def autoscale_safety(world) -> Optional[str]:
     """The actuator never strands the cluster mid-transition.
 
@@ -313,6 +340,7 @@ DEFAULT_INVARIANTS: Tuple[Tuple[str, Invariant], ...] = (
     ("wm-slot-accounting", wm_slot_accounting),
     ("batch-digest-parity", batch_digest_parity),
     ("autoscale-safety", autoscale_safety),
+    ("pushdown-digest-parity", pushdown_digest_parity),
 )
 
 

@@ -247,6 +247,15 @@ class ContainerReader:
     def read_columns(self, names: Sequence[str]) -> Dict[str, np.ndarray]:
         return {n: self.column_reader(n).read_all() for n in names}
 
+    def stored_bytes(self, names: Sequence[str]) -> int:
+        """Stored (on-object) size of the named column files.
+
+        This is what a server-side scan must read — the per-byte-scanned
+        pricing base of :meth:`SimulatedS3.select_scan` — and is exactly
+        recomputable by a client holding the raw container image.
+        """
+        return sum(self._directory[n]["length"] for n in names)
+
     def schema(self) -> TableSchema:
         from repro.common.types import SchemaColumn
 

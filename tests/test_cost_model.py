@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.engine.cost import CostModel, NodeWork, QueryStats
+from repro.engine.cost import (
+    CostModel,
+    NodeWork,
+    QueryStats,
+    choose_scan_strategy,
+    estimate_pushdown_bytes,
+    estimate_selectivity,
+)
+from repro.shared_storage.s3 import S3CostModel, S3LatencyModel
 
 
 class TestCostModel:
@@ -49,3 +57,154 @@ class TestQueryStats:
     def test_busy_seconds(self):
         work = NodeWork(io_seconds=0.2, cpu_seconds=0.3)
         assert work.busy_seconds == pytest.approx(0.5)
+
+    def test_pushdown_totals_aggregate_across_nodes(self):
+        stats = QueryStats()
+        stats.node("a").pushdown_scans = 2
+        stats.node("a").bytes_scanned = 1000
+        stats.node("b").bytes_scanned = 500
+        assert stats.total_pushdown_scans == 2
+        assert stats.total_bytes_scanned == 1500
+
+
+class TestSelectPricing:
+    """The per-byte-scanned pricing and latency terms."""
+
+    def test_select_cost_terms(self):
+        cost = S3CostModel(
+            select_per_1k=0.4, scan_per_gb=2.0, return_per_gb=0.7
+        )
+        # request fee + scanned GB * scan rate + returned GB * return rate.
+        assert cost.select_cost(0, 0) == pytest.approx(0.4 / 1000)
+        assert cost.select_cost(10**9, 0) == pytest.approx(0.4 / 1000 + 2.0)
+        assert cost.select_cost(10**9, 5 * 10**8) == pytest.approx(
+            0.4 / 1000 + 2.0 + 0.35
+        )
+
+    def test_default_price_card_relationships(self):
+        """The defaults mirror the published S3 Select card: the request
+        fee matches a GET's, returned bytes are priced below scanned
+        bytes, and selectivity only discounts the return term."""
+        cost = S3CostModel()
+        assert cost.select_per_1k == cost.get_per_1k
+        assert cost.return_per_gb < cost.scan_per_gb
+        container = 2 * 10**6
+        full = cost.select_cost(container, container)
+        selective = cost.select_cost(container, container // 100)
+        assert selective < full
+        # The scan term is incompressible: even a zero-return select pays it.
+        assert cost.select_cost(container, 0) == pytest.approx(
+            cost.select_per_1k / 1000 + container / 1e9 * cost.scan_per_gb
+        )
+
+    def test_select_seconds_terms(self):
+        latency = S3LatencyModel()
+        scanned, returned = 6 * 10**8, 9 * 10**7
+        assert latency.select_seconds(scanned, returned) == pytest.approx(
+            latency.select_request_seconds
+            + scanned / latency.scan_bandwidth
+            + returned / latency.read_bandwidth
+        )
+        # Scanning moves at the server's internal rate — much faster than
+        # shipping the same bytes over the wire.
+        assert latency.select_seconds(scanned, 0) < latency.read_seconds(scanned)
+
+
+class _FakeContainer:
+    def __init__(self, stats):
+        self._stats = stats
+
+    def min_of(self, column):
+        return self._stats.get(column, (None, None))[0]
+
+    def max_of(self, column):
+        return self._stats.get(column, (None, None))[1]
+
+
+class TestEstimateSelectivity:
+    def test_interval_overlap(self):
+        c = _FakeContainer({"k": (0, 100)})
+        assert estimate_selectivity({"k": (None, 25)}, c) == pytest.approx(0.25)
+        assert estimate_selectivity({"k": (50, None)}, c) == pytest.approx(0.5)
+        assert estimate_selectivity({"k": (25, 75)}, c) == pytest.approx(0.5)
+
+    def test_bounds_outside_stats_give_zero(self):
+        c = _FakeContainer({"k": (0, 100)})
+        assert estimate_selectivity({"k": (200, None)}, c) == 0.0
+        assert estimate_selectivity({"k": (None, -1)}, c) == 0.0
+
+    def test_columns_multiply_independently(self):
+        c = _FakeContainer({"k": (0, 100), "v": (0.0, 10.0)})
+        sel = estimate_selectivity({"k": (None, 50), "v": (None, 1.0)}, c)
+        assert sel == pytest.approx(0.05)
+
+    def test_non_numeric_and_degenerate_stats_are_neutral(self):
+        c = _FakeContainer({"g": ("a", "z"), "k": (7, 7)})
+        assert estimate_selectivity({"g": (None, "m")}, c) == 1.0
+        assert estimate_selectivity({"k": (0, 10)}, c) == 1.0
+        assert estimate_selectivity({"missing": (0, 1)}, c) == 1.0
+
+    def test_pushdown_bytes_clamped(self):
+        assert estimate_pushdown_bytes(1000, 0.25) == 250
+        assert estimate_pushdown_bytes(1000, 2.0) == 1000
+        assert estimate_pushdown_bytes(1000, -1.0) == 0
+
+
+class TestChooseScanStrategy:
+    """The three-way decision table and its auto-mode break-even."""
+
+    BASE = dict(
+        resident=False,
+        use_cache=True,
+        has_delete_vectors=False,
+        eligible=True,
+        supports_select=True,
+        fetch_seconds=1.0,
+        pushdown_seconds=0.5,
+    )
+
+    def _choose(self, mode, **overrides):
+        return choose_scan_strategy(mode, **{**self.BASE, **overrides})
+
+    def test_no_depot_session_is_raw_get(self):
+        for mode in ("off", "auto", "on"):
+            assert self._choose(mode, use_cache=False) == "get"
+
+    def test_resident_always_depot(self):
+        for mode in ("off", "auto", "on"):
+            assert self._choose(mode, resident=True) == "depot"
+
+    def test_hard_disqualifiers_fall_back_to_depot(self):
+        assert self._choose("off") == "depot"
+        assert self._choose("on", supports_select=False) == "depot"
+        assert self._choose("on", has_delete_vectors=True) == "depot"
+        assert self._choose("on", eligible=False) == "depot"
+
+    def test_on_overrides_the_estimate(self):
+        assert self._choose("on", pushdown_seconds=99.0) == "pushdown"
+
+    def test_auto_break_even(self):
+        # Strictly faster: pushdown; tie or slower: depot.
+        assert self._choose("auto", pushdown_seconds=0.999) == "pushdown"
+        assert self._choose("auto", pushdown_seconds=1.0) == "depot"
+        assert self._choose("auto", pushdown_seconds=1.001) == "depot"
+
+    def test_auto_break_even_tracks_the_latency_model(self):
+        """Sweep selectivity with the real latency model: highly selective
+        scans push down, unselective full-projection scans do not, and the
+        flip happens exactly where select_seconds crosses read_seconds."""
+        latency = S3LatencyModel()
+        size = 2 * 10**6
+        fetch = latency.read_seconds(size)
+        decisions = {}
+        for selectivity in (0.01, 0.2, 0.5, 0.9, 1.0):
+            returned = estimate_pushdown_bytes(size, selectivity)
+            pushdown = latency.select_seconds(size, returned)
+            decisions[selectivity] = self._choose(
+                "auto", fetch_seconds=fetch, pushdown_seconds=pushdown
+            )
+        assert decisions[0.01] == "pushdown"
+        assert decisions[1.0] == "depot"
+        # Monotone: once depot wins, higher selectivity never flips back.
+        ordered = [decisions[s] for s in sorted(decisions)]
+        assert ordered == sorted(ordered, key=lambda d: d == "depot")

@@ -139,7 +139,7 @@ class TestDcStorageOperations:
             "select operation, requests, dollars"
             " from v_monitor.dc_storage_operations",
         )
-        assert [r[0] for r in rows] == ["DELETE", "GET", "LIST", "PUT"]
+        assert [r[0] for r in rows] == ["DELETE", "GET", "LIST", "PUT", "SELECT"]
         for operation, requests, dollars in rows:
             stats = cluster.shared.op_stats[operation]
             assert requests == stats.requests
