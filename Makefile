@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke wm-smoke engine-smoke autoscale-smoke pushdown-smoke bench bench-smoke obs-demo
+.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke wm-smoke engine-smoke autoscale-smoke pushdown-smoke doctor-smoke bench bench-smoke obs-demo
 
 # Default flow: lint, then the tier-1 suite.
 default: lint test
@@ -11,7 +11,7 @@ test:
 
 # Inner-loop subset: everything except the sim campaigns and slow sweeps.
 test-fast:
-	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos and not wm and not engine and not autoscale and not pushdown"
+	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos and not wm and not engine and not autoscale and not pushdown and not doctor"
 
 # Lint with ruff when available; fall back to a syntax sweep (compileall)
 # so `make lint` is meaningful in offline environments without ruff.
@@ -53,6 +53,12 @@ engine-smoke:
 # pushdown-race simulation campaigns.
 pushdown-smoke:
 	$(PY) -m pytest tests/test_pushdown_differential.py tests/test_pushdown_property.py tests/test_pushdown_campaign.py -m pushdown -q
+
+# Doctor confidence check: the four overload scenario campaigns (every
+# logged probe must diagnose to its injected cause) and the 5-seed
+# recording bit-identity wall.
+doctor-smoke:
+	$(PY) -m pytest tests/test_doctor.py -m doctor -q
 
 # Longer chaos run straight from the CLI (prints per-seed digests).
 sim-campaign:

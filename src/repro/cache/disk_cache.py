@@ -112,6 +112,10 @@ class FileCache:
         self._info: Dict[str, ObjectInfo] = {}
         self._pinned: Set[str] = set()
         self.stats = CacheStats()
+        #: Optional ``sink(event, name, size)`` called on depot events the
+        #: Data Collector records (currently evictions).  Must be free of
+        #: side effects on the cache itself.
+        self.event_sink = None
 
     # -- core operations -------------------------------------------------------
 
@@ -257,6 +261,8 @@ class FileCache:
             self._forget(name)
             self.stats.evictions += 1
             self.stats.bytes_evicted += size
+            if self.event_sink is not None:
+                self.event_sink("evict", name, size)
 
     # -- introspection ------------------------------------------------------------------
 

@@ -183,6 +183,10 @@ class EonCluster:
         faults = getattr(self.shared, "faults", None)
         if faults is not None and hasattr(faults, "bind_clock"):
             faults.bind_clock(self.clock)
+        if faults is not None and hasattr(faults, "bind_recorder"):
+            faults.bind_recorder(self._record_fault_event)
+        for node in self.nodes.values():
+            self._attach_depot_sink(node)
         if _bootstrap:
             self._bootstrap()
 
@@ -198,6 +202,31 @@ class EonCluster:
                 max_spans=max_spans,
             )
         return self.obs
+
+    # -- Data Collector feeds --------------------------------------------------
+
+    def _record_fault_event(self, kind: str, operation: str) -> None:
+        """Fault-injector sink → ``dc_fault_injections``.  Called after the
+        injection decision, so it cannot perturb RNG state; it draws no RNG
+        and charges no requests itself, keeping digests bit-identical."""
+        if self.obs.enabled:
+            self.obs.dc.record(
+                "dc_fault_injections", "", (operation, kind, "")
+            )
+
+    def _attach_depot_sink(self, node: Node) -> None:
+        """Wire a node's depot to ``dc_depot_events``.  The sink closes
+        over the node *name* and reads ``self.obs`` lazily, so it survives
+        ``enable_observability`` swaps and cache rebuilds alike."""
+        name = node.name
+
+        def sink(event: str, obj: str, size: int) -> None:
+            if self.obs.enabled:
+                self.obs.dc.record(
+                    "dc_depot_events", name, (event, obj, int(size))
+                )
+
+        node.cache.event_sink = sink
 
     # -- bootstrap -----------------------------------------------------------------
 
@@ -853,6 +882,11 @@ class EonCluster:
                         error=type(exc).__name__,
                         initiator=current.initiator,
                     )
+                    self.obs.dc.record(
+                        "dc_query_events",
+                        current.initiator,
+                        (0, "failover", type(exc).__name__, float(attempt)),
+                    )
             finally:
                 if own_session:
                     current.release()
@@ -877,8 +911,10 @@ class EonCluster:
         # so a monitor query observes steady-state slot usage, not its own.
         system_names = system_tables_referenced(statement)
         if system_names:
+            # The statement rides along so partitioned dc_* producers can
+            # prune on its time/node bounds before materializing.
             state, provider = bind_system_tables(
-                self, state, provider, system_names
+                self, state, provider, system_names, statement=statement
             )
         bound = bind_select(statement, state)
         plan = plan_query(bound, state)
@@ -893,7 +929,8 @@ class EonCluster:
             ticket = own_ticket
         # Queue wait joins the failover backoff in dispatch time, so the
         # recorded latency/profile/span covers the whole admission story.
-        extra = penalty + (ticket.queue_wait_seconds if ticket is not None else 0.0)
+        queue_wait = ticket.queue_wait_seconds if ticket is not None else 0.0
+        extra = penalty + queue_wait
         try:
             # Monitor queries are not themselves recorded: profiling the
             # profiler would recurse (this query would appear in the very
@@ -909,7 +946,9 @@ class EonCluster:
                     result.stats.dispatch_seconds += extra
             else:
                 result = self._record_query(
-                    statement, session, executor, plan, request_text, extra
+                    statement, session, executor, plan, request_text,
+                    penalty=penalty, queue_wait=queue_wait,
+                    had_ticket=ticket is not None,
                 )
             self.engine_stats.note(executor)
             return result
@@ -925,25 +964,32 @@ class EonCluster:
         plan,
         request_text: Optional[str],
         penalty: float = 0.0,
+        queue_wait: float = 0.0,
+        had_ticket: bool = False,
     ) -> QueryResult:
         """Execute under a ``query`` span and log request/profile records."""
         obs = self.obs
         shared_metrics = self.shared.metrics
         gets_before = shared_metrics.get_requests
         dollars_before = shared_metrics.dollars
+        retries_before = shared_metrics.transient_failures
+        backoff_before = shared_metrics.retry_backoff_seconds
+        io_before = shared_metrics.sim_seconds
         hits_before = sum(n.cache.stats.hits for n in self.nodes.values())
         misses_before = sum(n.cache.stats.misses for n in self.nodes.values())
         request_id = obs.next_request_id()
         text = request_text or _describe_select(statement)
         start = self.clock.now
+        extra = penalty + queue_wait
         with obs.tracer.span(
             "query", request_id=request_id, initiator=session.initiator
         ) as span:
             result = executor.execute(plan)
-            # Failover backoff from earlier attempts lands in dispatch
-            # time, so the recorded latency covers the whole retry story.
-            if penalty:
-                result.stats.dispatch_seconds += penalty
+            # Failover backoff from earlier attempts and admission queue
+            # wait land in dispatch time, so the recorded latency covers
+            # the whole retry + admission story.
+            if extra:
+                result.stats.dispatch_seconds += extra
             # Queries don't advance the sim clock; the cost model's latency
             # is the query's duration.
             span.duration = result.stats.latency_seconds
@@ -963,7 +1009,33 @@ class EonCluster:
                 - misses_before,
                 s3_requests=shared_metrics.get_requests - gets_before,
                 s3_dollars=shared_metrics.dollars - dollars_before,
+                queue_wait_seconds=queue_wait,
+                failover_backoff_seconds=penalty,
+                retry_backoff_seconds=shared_metrics.retry_backoff_seconds
+                - backoff_before,
+                retries=shared_metrics.transient_failures - retries_before,
+                storage_io_seconds=shared_metrics.sim_seconds - io_before,
             )
+        )
+        initiator = session.initiator
+        if had_ticket:
+            obs.dc.record(
+                "dc_query_events", initiator,
+                (request_id, "admit", "", queue_wait),
+            )
+        if queue_wait > 0:
+            obs.dc.record(
+                "dc_query_events", initiator,
+                (request_id, "queue", "", queue_wait),
+            )
+        if penalty > 0:
+            obs.dc.record(
+                "dc_query_events", initiator,
+                (request_id, "failover", "backoff", penalty),
+            )
+        obs.dc.record(
+            "dc_query_events", initiator,
+            (request_id, "execute", text[:80], latency),
         )
         obs.profiles.append(
             QueryProfile(
@@ -1293,6 +1365,7 @@ class EonCluster:
             # the cluster is at base_version with nothing to replay.
             self._full_metadata_rebuild(node)
         self.nodes[name] = node
+        self._attach_depot_sink(node)
         if subcluster:
             self.subclusters.setdefault(subcluster, set()).add(name)
         if shards is None:

@@ -82,10 +82,13 @@ class Node:
             # A fresh policy *instance*, not the dead incarnation's object:
             # any per-entry state the policy carries (recency, frequency,
             # pin counts) describes files that no longer exist on the
-            # replacement disk.
+            # replacement disk.  The event sink belongs to the node's slot
+            # in the cluster, not the dead incarnation, so it carries over.
+            sink = self.cache.event_sink
             self.cache = FileCache(
                 self.local_fs, self.cache_bytes, type(self.cache.policy)()
             )
+            self.cache.event_sink = sink
 
     def restart(self) -> None:
         """Bring the process back up: new instance id, catalog recovered

@@ -119,7 +119,14 @@ class ServiceScheduler:
             self.cluster.obs.metrics.counter(
                 "services.skipped_outage", service=service
             ).inc()
+        self._dc_record(service, "skipped_outage")
         return True
+
+    def _dc_record(self, service: str, outcome: str, detail: str = "") -> None:
+        """One row into ``dc_service_runs`` (no-op when obs is disabled)."""
+        obs = getattr(self.cluster, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.dc.record("dc_service_runs", "", (service, outcome, detail))
 
     def _note_error(self, service: str, error: ReproError) -> None:
         self.stats.errors += 1
@@ -128,9 +135,11 @@ class ServiceScheduler:
         obs = getattr(self.cluster, "obs", None)
         if obs is not None and obs.enabled:
             obs.metrics.counter("services.errors", service=service).inc()
+        self._dc_record(service, "error", f"{type(error).__name__}: {error}")
 
     def _note_run(self, service: str) -> None:
         self.run_counts[service] = self.run_counts.get(service, 0) + 1
+        self._dc_record(service, "run")
 
     def run_catalog_sync(self) -> None:
         if self._paused("catalog_sync"):

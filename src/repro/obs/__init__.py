@@ -8,7 +8,10 @@ Three pillars, all stamped by the simulated clock:
   S3 requests, mergeout, reaping, and revive, exportable as JSON;
 * :mod:`repro.obs.profile` + :mod:`repro.obs.system_tables` — per-operator
   query profiles exposed as ``v_monitor.*`` virtual tables that run
-  through the ordinary SQL planner/executor.
+  through the ordinary SQL planner/executor;
+* :mod:`repro.obs.datacollector` — bounded per-node event-history ring
+  buffers behind the partitioned ``v_monitor.dc_*`` tables, read by
+  :mod:`repro.obs.doctor` to explain slow queries.
 
 :class:`Observability` bundles the three behind one switch.  Disabled (the
 default for every cluster) it holds the shared no-op registry and tracer,
@@ -22,6 +25,13 @@ import itertools
 from collections import deque
 from typing import Optional
 
+from repro.obs.datacollector import (
+    DataCollector,
+    DC_NODE_PARTITIONED,
+    DC_TABLES,
+    NULL_DATA_COLLECTOR,
+    NullDataCollector,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
@@ -47,6 +57,11 @@ __all__ = [
     "QueryProfile",
     "RequestRecord",
     "cluster_metrics",
+    "DataCollector",
+    "NullDataCollector",
+    "NULL_DATA_COLLECTOR",
+    "DC_TABLES",
+    "DC_NODE_PARTITIONED",
 ]
 
 
@@ -64,10 +79,12 @@ class Observability:
         self.enabled = enabled
         if enabled:
             self.metrics = MetricsRegistry(clock)
-            self.tracer = Tracer(clock, max_spans=max_spans)
+            self.tracer = Tracer(clock, max_spans=max_spans, registry=self.metrics)
+            self.dc = DataCollector(clock)
         else:
             self.metrics = NULL_REGISTRY
             self.tracer = NULL_TRACER
+            self.dc = NULL_DATA_COLLECTOR
         #: Recent RequestRecord / QueryProfile entries (bounded, like the
         #: Data Collector's ring buffers).
         self.requests: "deque[RequestRecord]" = deque(maxlen=max_requests)

@@ -10,10 +10,14 @@ tables need:
 
 * :meth:`MetricsRegistry.snapshot` — an immutable, JSON-able copy;
 * :meth:`MetricsSnapshot.delta` — what happened between two snapshots
-  (counters/histograms subtract; gauges keep the later value);
+  (counters/histograms subtract over the union of keys; gauges keep the
+  later value);
 * :meth:`MetricsSnapshot.merge` — combine per-node snapshots into a
-  cluster-wide view (counters/histograms add; gauges add too, because the
-  gauges we export are per-node resource totals like cached bytes).
+  cluster-wide view (counters/histograms add; gauges get per-key
+  semantics: occupancy-style gauges like cached bytes sum, ratio-style
+  gauges — names ending in ``_rate``/``_ratio``/``_fraction``/
+  ``_utilization``/``_pct`` — keep the latest value, since a cluster-wide
+  "hit rate" of 2.4 is nonsense).
 
 :data:`NULL_REGISTRY` is the zero-overhead-when-disabled implementation:
 every instrument lookup returns one shared no-op object, so instrumented
@@ -30,6 +34,17 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Gauge-name suffixes that mark a ratio-style gauge: merging across nodes
+#: keeps the latest value instead of summing (summing hit rates is wrong).
+_LATEST_GAUGE_SUFFIXES: Tuple[str, ...] = (
+    "_rate", "_ratio", "_fraction", "_utilization", "_pct",
+)
+
+
+def _gauge_merges_latest(key: str) -> bool:
+    name = key.split("{", 1)[0]
+    return name.endswith(_LATEST_GAUGE_SUFFIXES)
 
 
 def _label_key(name: str, labels: Dict[str, object]) -> Tuple[str, LabelItems]:
@@ -156,16 +171,24 @@ class MetricsSnapshot:
         }
 
     def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
-        """What happened between ``earlier`` and this snapshot."""
+        """What happened between ``earlier`` and this snapshot.
+
+        Keys are totaled over the *union* of the two snapshots — a counter
+        that appears only in ``earlier`` (an instrument retired between the
+        snapshots) still shows up, as ``0 - earlier`` value, instead of
+        silently vanishing from the report.
+        """
         counters = {
-            key: value - earlier.counters.get(key, 0.0)
-            for key, value in self.counters.items()
+            key: self.counters.get(key, 0.0) - earlier.counters.get(key, 0.0)
+            for key in set(self.counters) | set(earlier.counters)
         }
         histograms = {}
-        for key, h in self.histograms.items():
-            prev = earlier.histograms.get(
-                key, {"count": 0, "sum": 0.0, "buckets": [0] * len(h["buckets"])}
-            )
+        empty = lambda h: {
+            "count": 0, "sum": 0.0, "buckets": [0] * len(h["buckets"])
+        }
+        for key in set(self.histograms) | set(earlier.histograms):
+            h = self.histograms.get(key) or empty(earlier.histograms[key])
+            prev = earlier.histograms.get(key) or empty(h)
             histograms[key] = {
                 "count": h["count"] - prev["count"],
                 "sum": h["sum"] - prev["sum"],
@@ -177,9 +200,18 @@ class MetricsSnapshot:
 
     @staticmethod
     def merge(snapshots: List["MetricsSnapshot"]) -> "MetricsSnapshot":
-        """Combine snapshots (e.g. one per node) into a cluster-wide view."""
+        """Combine snapshots (e.g. one per node) into a cluster-wide view.
+
+        Counters and histograms add.  Gauges merge per key: occupancy
+        gauges (cached bytes, queue depth) sum, ratio gauges (names ending
+        in a :data:`_LATEST_GAUGE_SUFFIXES` suffix) keep the value from
+        the newest snapshot carrying the key — later list position wins
+        ties, so merging per-node with a fresher cluster snapshot behaves
+        like "latest".
+        """
         counters: Dict[str, float] = {}
         gauges: Dict[str, float] = {}
+        gauge_at: Dict[str, float] = {}
         histograms: Dict[str, dict] = {}
         at = 0.0
         for snap in snapshots:
@@ -187,7 +219,12 @@ class MetricsSnapshot:
             for key, value in snap.counters.items():
                 counters[key] = counters.get(key, 0.0) + value
             for key, value in snap.gauges.items():
-                gauges[key] = gauges.get(key, 0.0) + value
+                if _gauge_merges_latest(key):
+                    if key not in gauge_at or snap.at >= gauge_at[key]:
+                        gauges[key] = value
+                        gauge_at[key] = snap.at
+                else:
+                    gauges[key] = gauges.get(key, 0.0) + value
             for key, h in snap.histograms.items():
                 if key not in histograms:
                     histograms[key] = {
@@ -340,7 +377,10 @@ def cluster_metrics(cluster) -> dict:
         "prefetch_bytes_read": 0,
     }
     for name in sorted(getattr(cluster, "nodes", {})):
-        stats = cluster.nodes[name].cache.stats
+        cache = getattr(cluster.nodes[name], "cache", None)
+        if cache is None:
+            continue
+        stats = cache.stats
         depot["hits"] += stats.hits
         depot["misses"] += stats.misses
         depot["insertions"] += stats.insertions

@@ -78,3 +78,10 @@ class RequestRecord:
     depot_misses: int = 0
     s3_requests: int = 0
     s3_dollars: float = 0.0
+    #: Latency components the doctor attributes blame from.  All default
+    #: to zero so pre-existing constructors keep working.
+    queue_wait_seconds: float = 0.0
+    failover_backoff_seconds: float = 0.0
+    retry_backoff_seconds: float = 0.0
+    retries: int = 0
+    storage_io_seconds: float = 0.0

@@ -15,6 +15,13 @@ Replicated segmentation means a pure system-table query plans single-node
 (the initiator serves it), while joins against user tables treat the
 virtual table as a replicated build side — both exactly the planner's
 existing rules.
+
+The ``dc_*`` event-history tables are *partitioned*: their producers take
+the column bounds extracted from the query's WHERE clause and prune on
+``time``/``node`` before materializing rows (vDBAHelper's predicate
+pushdown).  Pruning is conservative — bounds come from AND-conjuncts
+only, and the executor re-applies the full predicate after the scan — so
+it can only skip rows that could never match.
 """
 
 from __future__ import annotations
@@ -25,8 +32,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.catalog.objects import Projection, Segmentation, Table
 from repro.common.types import ColumnType, SchemaColumn, TableSchema
 from repro.engine.executor import ScanResult, StorageProvider
-from repro.engine.expressions import Expr
+from repro.engine.expressions import Expr, extract_column_bounds
 from repro.errors import CatalogError
+from repro.obs.datacollector import DC_TABLES
+from repro.shared_storage.s3 import OP_CLASSES
 from repro.storage.container import RowSet
 
 SCHEMA_PREFIX = "v_monitor."
@@ -45,6 +54,10 @@ class SystemTableDef:
     name: str  # short name, without the v_monitor. prefix
     schema: TableSchema
     producer: Callable[[object], List[tuple]]
+    #: Columns the producer can prune on before materializing rows.  When
+    #: non-empty, the producer is called as ``producer(cluster, bounds)``
+    #: with the (possibly empty) extracted bounds for these columns.
+    partition_columns: Tuple[str, ...] = ()
 
     @property
     def qualified_name(self) -> str:
@@ -241,15 +254,35 @@ def _dc_storage_operations(cluster) -> List[tuple]:
             )
     else:
         # Generic backend: per-class detail unavailable, report from the
-        # aggregate StorageMetrics.
+        # aggregate StorageMetrics.  The row set is derived from the same
+        # OP_CLASSES the simulated backend uses, so both code paths report
+        # identical op classes; metrics fields a generic backend doesn't
+        # track (select_requests/bytes_scanned) read as zero.
         m = shared.metrics
         rows = [
-            ("DELETE", m.delete_requests, 0, 0.0, 0.0, 0, 0),
-            ("GET", m.get_requests, m.bytes_read, 0.0, 0.0, 0, 0),
-            ("LIST", m.list_requests, 0, 0.0, 0.0, 0, 0),
-            ("PUT", m.put_requests, m.bytes_written, 0.0, 0.0, 0, 0),
+            (
+                op,
+                getattr(m, requests_field, 0),
+                getattr(m, bytes_field, 0) if bytes_field else 0,
+                0.0, 0.0, 0, 0,
+            )
+            for op, (requests_field, bytes_field) in sorted(
+                _FALLBACK_OP_FIELDS.items()
+            )
         ]
     return rows
+
+
+#: StorageMetrics fields backing each op class in the generic-backend
+#: fallback of :func:`_dc_storage_operations`; must cover ``OP_CLASSES``.
+_FALLBACK_OP_FIELDS: Dict[str, Tuple[str, Optional[str]]] = {
+    "DELETE": ("delete_requests", None),
+    "GET": ("get_requests", "bytes_read"),
+    "LIST": ("list_requests", None),
+    "PUT": ("put_requests", "bytes_written"),
+    "SELECT": ("select_requests", "bytes_scanned"),
+}
+assert set(_FALLBACK_OP_FIELDS) == set(OP_CLASSES)
 
 
 def _services(cluster) -> List[tuple]:
@@ -291,9 +324,45 @@ def _autoscale_events(cluster) -> List[tuple]:
     ]
 
 
+def _dc_event_producer(table: str):
+    """Producer for one Data Collector event table.
+
+    Reads the cluster's collector (empty when observability is disabled)
+    and lets it prune on the extracted time/node bounds before a single
+    row is materialized.
+    """
+
+    def produce(cluster, bounds=None) -> List[tuple]:
+        dc = getattr(getattr(cluster, "obs", None), "dc", None)
+        if dc is None or not dc.enabled:
+            return []
+        return dc.rows(table, bounds)
+
+    return produce
+
+
+#: Column types for the dc_* event tables; anything unlisted is VARCHAR.
+_DC_COLUMN_TYPES: Dict[str, ColumnType] = {
+    "time": _F, "value": _F, "wait_seconds": _F,
+    "request_id": _I, "slots": _I, "bytes": _I,
+}
+
+_DC_EVENT_DEFS: Tuple[SystemTableDef, ...] = tuple(
+    SystemTableDef(
+        table,
+        _schema(*[(c, _DC_COLUMN_TYPES.get(c, _S)) for c in columns]),
+        _dc_event_producer(table),
+        partition_columns=tuple(
+            c for c in ("time", "node") if c in columns
+        ),
+    )
+    for table, columns in sorted(DC_TABLES.items())
+)
+
+
 SYSTEM_TABLES: Dict[str, SystemTableDef] = {
     d.name: d
-    for d in (
+    for d in _DC_EVENT_DEFS + (
         SystemTableDef(
             "depot_activity",
             _schema(
@@ -424,14 +493,33 @@ def system_tables_referenced(statement) -> List[str]:
 
 
 def bind_system_tables(
-    cluster, state, provider: StorageProvider, names: Sequence[str]
+    cluster,
+    state,
+    provider: StorageProvider,
+    names: Sequence[str],
+    statement=None,
 ):
     """Inject virtual tables into a copy of ``state``; wrap ``provider``.
 
     Rows are materialized here — at bind time — so one query sees one
     consistent reading of the monitor, and the query's own execution does
     not show up in its result.
+
+    When ``statement`` is a single-table, join-free SELECT with a WHERE
+    clause, its AND-conjunct column bounds are handed to partitioned
+    producers (the ``dc_*`` tables) so they prune on ``time``/``node``
+    before materializing.  Bounds are only a necessary condition — the
+    executor still applies the full predicate — so multi-table or
+    aliased queries simply skip pruning rather than risking wrong rows.
     """
+    bounds: Dict[str, Tuple[object, object]] = {}
+    if (
+        statement is not None
+        and len(getattr(statement, "tables", ())) == 1
+        and not getattr(statement, "joins", ())
+        and getattr(statement, "where", None) is not None
+    ):
+        bounds = extract_column_bounds(statement.where)
     virtual = state.copy()
     rowsets: Dict[str, RowSet] = {}
     for name in names:
@@ -445,9 +533,16 @@ def bind_system_tables(
             segmentation=Segmentation.replicated(),
         )
         virtual.projections[projection.name] = projection
-        rowsets[projection.name] = RowSet.from_rows(
-            definition.schema, definition.producer(cluster)
-        )
+        if definition.partition_columns:
+            pruned = {
+                column: bounds[column]
+                for column in definition.partition_columns
+                if column in bounds and bounds[column] != (None, None)
+            }
+            rows = definition.producer(cluster, pruned or None)
+        else:
+            rows = definition.producer(cluster)
+        rowsets[projection.name] = RowSet.from_rows(definition.schema, rows)
     return virtual, SystemTableProvider(provider, rowsets)
 
 

@@ -16,6 +16,10 @@ enter and exit.
 The trace is bounded (``max_spans``, oldest dropped) and exportable as
 JSON; :meth:`Tracer.mark`/:meth:`Tracer.spans_since` let the simulation
 harness attach exactly the spans of a failing step to the violation.
+Drops are never silent: each evicted span bumps :attr:`Tracer.dropped`
+and the ``obs.spans_dropped`` counter, and
+:meth:`Tracer.truncated_since` tells a ``spans_since`` caller whether
+its window lost spans to eviction.
 
 :data:`NULL_TRACER` is the zero-overhead-when-disabled implementation.
 """
@@ -90,16 +94,29 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock=None, max_spans: int = 20000):
+    def __init__(self, clock=None, max_spans: int = 20000, registry=None):
         self._clock = clock
         self._ids = itertools.count(1)
         self._stack: List[Span] = []
         self._spans: "deque[Span]" = deque(maxlen=max_spans)
+        self._registry = registry
+        #: Spans evicted from the bounded deque since construction.
+        self.dropped = 0
+        #: Highest span_id evicted so far (0 = nothing evicted yet).
+        self._evicted_through = 0
 
     def _now(self) -> float:
         return self._clock.now if self._clock is not None else 0.0
 
     # -- recording --------------------------------------------------------------
+
+    def _append(self, span: Span) -> None:
+        if self._spans.maxlen is not None and len(self._spans) == self._spans.maxlen:
+            self._evicted_through = self._spans[0].span_id
+            self.dropped += 1
+            if self._registry is not None:
+                self._registry.counter("obs.spans_dropped").inc()
+        self._spans.append(span)
 
     def span(self, name: str, **attrs) -> Span:
         """Open a span; use as ``with tracer.span("query") as s: ...``.
@@ -109,7 +126,7 @@ class Tracer:
         """
         parent = self._stack[-1].span_id if self._stack else None
         span = Span(next(self._ids), parent, name, self._now(), dict(attrs), self)
-        self._spans.append(span)
+        self._append(span)
         return span
 
     def record(self, name: str, duration: float = 0.0, **attrs) -> Span:
@@ -117,7 +134,7 @@ class Tracer:
         parent = self._stack[-1].span_id if self._stack else None
         span = Span(next(self._ids), parent, name, self._now(), dict(attrs))
         span.duration = duration
-        self._spans.append(span)
+        self._append(span)
         return span
 
     # -- reading ----------------------------------------------------------------
@@ -137,6 +154,11 @@ class Tracer:
 
     def spans_since(self, mark: int) -> List[Span]:
         return [s for s in self._spans if s.span_id >= mark]
+
+    def truncated_since(self, mark: int) -> bool:
+        """True when eviction has eaten into the ``[mark, now]`` window —
+        i.e. :meth:`spans_since` for this mark is missing spans."""
+        return self._evicted_through >= mark
 
     def to_json(self, spans: Optional[List[Span]] = None) -> str:
         spans = self.spans if spans is None else spans
@@ -201,6 +223,7 @@ class NullTracer:
     """Disabled tracer: records nothing, returns shared no-op objects."""
 
     enabled = False
+    dropped = 0
 
     def __init__(self) -> None:
         self._span = _NullSpan()
@@ -220,6 +243,9 @@ class NullTracer:
 
     def spans_since(self, mark: int) -> List[Span]:
         return []
+
+    def truncated_since(self, mark: int) -> bool:
+        return False
 
     def to_json(self, spans=None) -> str:
         return "[]"

@@ -37,6 +37,7 @@ from repro.shared_storage.api import Filesystem
 
 __all__ = [
     "FaultInjector",
+    "OP_CLASSES",
     "S3CostModel",
     "S3LatencyModel",
     "S3OpStats",
@@ -44,6 +45,11 @@ __all__ = [
     "SimulatedS3",
     "wire_bytes",
 ]
+
+#: The request classes this backend accounts per-class.  Single source of
+#: truth — ``v_monitor.dc_storage_operations`` derives its generic-backend
+#: fallback rows from this tuple so both code paths report the same ops.
+OP_CLASSES: Tuple[str, ...] = ("DELETE", "GET", "LIST", "PUT", "SELECT")
 
 
 @dataclass
@@ -145,12 +151,24 @@ class FaultInjector:
         self._outage_until: Optional[float] = None
         self.outages_begun = 0
         self.outage_rejections = 0
+        self._recorder = None
 
     # -- outage control --------------------------------------------------------
 
     def bind_clock(self, clock) -> None:
         """Attach the sim clock that defines outage windows."""
         self._clock = clock
+
+    def bind_recorder(self, recorder) -> None:
+        """Attach an injection-event sink: ``recorder(kind, operation)``
+        with kind in {"transient", "throttled", "outage_rejection"}.
+        Recording happens *after* the decision is made, so the recorder
+        cannot perturb the RNG stream or the decision digest."""
+        self._recorder = recorder
+
+    def _record(self, kind: str, operation: str) -> None:
+        if self._recorder is not None:
+            self._recorder(kind, operation)
 
     def begin_outage(self, seconds: float) -> float:
         """Declare a sustained outage for the next ``seconds`` of sim time.
@@ -187,6 +205,7 @@ class FaultInjector:
         decisions."""
         if self.outage_active:
             self.outage_rejections += 1
+            self._record("outage_rejection", operation)
             raise StorageUnavailable(
                 f"S3 outage in progress during {operation} "
                 f"(until t={self._outage_until:.3f})"
@@ -215,6 +234,7 @@ class FaultInjector:
 
     def maybe_fail(self, operation: str) -> None:
         rate = self.effective_rate
+        throttling = self._burst_ops_left > 0
         if self._burst_ops_left > 0:
             self._burst_ops_left -= 1
         if rate <= 0:
@@ -226,6 +246,7 @@ class FaultInjector:
         )
         if failed:
             self.injected += 1
+            self._record("throttled" if throttling else "transient", operation)
             raise TransientStorageError(
                 f"S3 transient failure during {operation} (injected)"
             )
@@ -341,7 +362,7 @@ class SimulatedS3(Filesystem):
         self._objects: Dict[str, bytes] = {}
         #: Per-request-class accounting alongside the aggregate ``metrics``.
         self.op_stats: Dict[str, S3OpStats] = {
-            op: S3OpStats() for op in ("GET", "PUT", "LIST", "DELETE", "SELECT")
+            op: S3OpStats() for op in OP_CLASSES
         }
 
     # -- core operations -------------------------------------------------------

@@ -10,6 +10,7 @@ SQL statements end with ``;``.  Backslash meta-commands mirror vsql's:
     \\plan         toggle plan printing
     \\stats        stats of the last query + cluster depot/S3 totals
     \\profile SQL  run a query with profiling; print per-operator profile
+    \\doctor [ID]  explain why a recorded query was slow (default: slowest)
     \\kill NODE    kill a node
     \\recover NODE recover a node
     \\q            quit
@@ -64,7 +65,13 @@ class Shell:
 
     def _run_sql(self, sql: str) -> None:
         try:
-            result = self.cluster.execute(sql)
+            # Eon clusters take any statement through execute(); clusters
+            # without it (Enterprise) still serve SELECTs via query().
+            execute = getattr(self.cluster, "execute", None)
+            if execute is not None:
+                result = execute(sql)
+            else:
+                result = self.cluster.query(sql)
         except ReproError as exc:
             self.write(f"ERROR: {exc}")
             return
@@ -124,6 +131,24 @@ class Shell:
             rows,
         ))
 
+    def _doctor(self, args: List[str]) -> None:
+        """Explain a recorded query's latency (default: the slowest one)."""
+        from repro.obs.doctor import diagnose
+
+        request_id: Optional[int] = None
+        if args:
+            try:
+                request_id = int(args[0])
+            except ValueError:
+                self.write("usage: \\doctor [request_id]")
+                return
+        try:
+            diagnosis = diagnose(self.cluster, request_id)
+        except ReproError as exc:
+            self.write(f"ERROR: {exc}")
+            return
+        self.write(diagnosis.render())
+
     # -- meta commands ----------------------------------------------------------------
 
     def _meta(self, command: str) -> bool:
@@ -180,22 +205,34 @@ class Shell:
                 )
             from repro.obs.metrics import cluster_metrics
 
+            # Backend-agnostic: every section is optional, so the same
+            # shell works over clusters without depots or shared storage
+            # (Enterprise mode).
             summary = cluster_metrics(self.cluster)
-            depot = summary["depot"]
-            self.write(
-                f"depot: hit_rate={depot['hit_rate']:.1%} "
-                f"byte_hit_rate={depot['byte_hit_rate']:.1%} "
-                f"evictions={depot['evictions']}"
-            )
-            totals = summary["s3"].get("totals")
-            if totals:
+            depot = summary.get("depot")
+            if depot:
                 self.write(
+                    f"depot: hit_rate={depot['hit_rate']:.1%} "
+                    f"byte_hit_rate={depot['byte_hit_rate']:.1%} "
+                    f"evictions={depot['evictions']}"
+                )
+            totals = summary.get("s3", {}).get("totals")
+            if totals:
+                line = (
                     f"s3: requests={totals['requests']} "
                     f"dollars=${totals['dollars']:.6f} "
                     f"retries={totals['retries']}"
                 )
+                if "select_requests" in totals:
+                    line += (
+                        f" selects={totals['select_requests']} "
+                        f"bytes_scanned={totals['bytes_scanned']}B"
+                    )
+                self.write(line)
         elif name == "\\profile":
             self._profile(" ".join(args))
+        elif name == "\\doctor":
+            self._doctor(args)
         elif name == "\\kill" and args:
             try:
                 self.cluster.kill_node(args[0])

@@ -798,23 +798,7 @@ class KillMidQuery:
         return f"{self.sql}{suffix}"
 
     def _survivable_victims(self, world, participants) -> List[str]:
-        cluster = world.cluster
-        if (len(cluster.up_nodes()) - 1) * 2 <= len(cluster.nodes):
-            return []
-        out = []
-        for name in participants:
-            if not cluster.nodes[name].is_up:
-                continue
-            survivable = all(
-                any(
-                    n != name
-                    for n in cluster.active_up_subscribers(shard_id)
-                )
-                for shard_id in cluster.shard_map.all_shard_ids()
-            )
-            if survivable:
-                out.append(name)
-        return out
+        return _survivable_victims(world, participants)
 
     def apply(self, world) -> str:
         cluster = world.cluster
@@ -889,6 +873,28 @@ class KillMidQuery:
             return "ok"
         finally:
             session.release()
+
+
+def _survivable_victims(world, participants) -> List[str]:
+    """Participants the cluster can lose: quorum holds and every shard
+    keeps another up ACTIVE subscriber."""
+    cluster = world.cluster
+    if (len(cluster.up_nodes()) - 1) * 2 <= len(cluster.nodes):
+        return []
+    out = []
+    for name in participants:
+        if not cluster.nodes[name].is_up:
+            continue
+        survivable = all(
+            any(
+                n != name
+                for n in cluster.active_up_subscribers(shard_id)
+            )
+            for shard_id in cluster.shard_map.all_shard_ids()
+        )
+        if survivable:
+            out.append(name)
+    return out
 
 
 @dataclass(frozen=True)
@@ -1058,3 +1064,296 @@ class AutoscaleTick:
             # leaked-file sweep was judged against is stale.
             world.cleanup_completed = False
         return "ok" if decision.action == "hold" else decision.action
+
+
+# -- overload probes -----------------------------------------------------------
+#
+# The four probes below are the doctor's scenario pack: each injects one
+# overload signature (noisy neighbor, depot stampede, throttling hotspot,
+# mid-query straggler), runs a real query through it, and — when the
+# injected component actually dominated the recorded latency (more than
+# half of it) — logs ``(request_id, expected cause)`` via
+# ``world.note_doctor_probe``.  Tests replay those probes through
+# :func:`repro.obs.doctor.diagnose` and require the verdict to match: the
+# probe judges dominance from the raw RequestRecord fields, the doctor
+# from its own breakdown, so agreement exercises the whole recording
+# pipeline end to end.  Correctness is still oracle-diffed like any other
+# query action.
+
+
+def _request_mark(world) -> int:
+    """High-water request id before a probe runs (0 when none recorded)."""
+    obs = world.cluster.obs
+    if not obs.enabled or not obs.requests:
+        return 0
+    return obs.requests[-1].request_id
+
+
+def _requests_since(world, mark: int) -> List:
+    obs = world.cluster.obs
+    if not obs.enabled:
+        return []
+    return [r for r in obs.requests if r.request_id > mark]
+
+
+@dataclass(frozen=True)
+class NoisyNeighborProbe(QueryStorm):
+    """A noisy-neighbor tenant: the :class:`QueryStorm` closed-loop burst,
+    sized to saturate the execution-slot pools so late arrivals queue.
+    Any storm request whose admission queue wait exceeded half its
+    recorded latency is logged as a ``queue wait`` doctor probe."""
+
+    name = "noisy_neighbor"
+
+    def apply(self, world) -> str:
+        mark = _request_mark(world)
+        outcome = QueryStorm.apply(self, world)
+        queued = [
+            r
+            for r in _requests_since(world, mark)
+            if r.queue_wait_seconds > r.duration_seconds / 2
+        ]
+        if queued:
+            worst = max(
+                queued, key=lambda r: (r.queue_wait_seconds, r.request_id)
+            )
+            world.note_doctor_probe(worst.request_id, "queue wait")
+        return outcome
+
+
+@dataclass(frozen=True)
+class DepotStampedeProbe:
+    """A thundering-herd depot stampede: clear every up node's depot, then
+    run a full scan cold — every container read misses the depot and goes
+    to shared storage.  When those shared-storage seconds dominated the
+    recorded latency, the request is logged as a ``depot misses`` probe."""
+
+    sql: str
+
+    name = "depot_stampede"
+
+    def detail(self) -> str:
+        return self.sql
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        if cluster.refresh_degraded():
+            # A degraded cluster can only serve depot-resident data;
+            # clearing the depots would just manufacture failures.
+            return "refused"
+        up = sorted(n.name for n in cluster.up_nodes())
+        if not up:
+            return "refused"
+        for name in up:
+            cluster.nodes[name].cache.clear()
+        mark = _request_mark(world)
+        try:
+            actual = rows_key(cluster.query(self.sql))
+        except StorageUnavailable:
+            return "storage_unavailable"
+        except TransientStorageError:
+            return "gave_up_transient"
+        except ObjectNotFound as exc:
+            raise InvariantViolation(
+                "catalog-storage",
+                world.seed,
+                world.step,
+                f"stampede {self.sql!r} read a missing object: {exc}",
+            )
+        expected = world.oracle.query_rows(self.sql)
+        if actual != expected:
+            raise InvariantViolation(
+                "oracle-equivalence",
+                world.seed,
+                world.step,
+                f"stampede {self.sql!r}: cluster={actual[:4]} "
+                f"oracle={expected[:4]}",
+            )
+        for record in _requests_since(world, mark):
+            if (
+                record.depot_misses > 0
+                and record.storage_io_seconds > record.duration_seconds / 2
+            ):
+                world.note_doctor_probe(record.request_id, "depot misses")
+                break
+        return "ok"
+
+
+@dataclass(frozen=True)
+class HotShardThrottleProbe:
+    """A skewed-shard hotspot: clear the depots (so the query must hit
+    shared storage), then declare a throttling burst and run the query
+    through it.  The retry loop's exponential backoff accrues against the
+    request; when that backoff dominated the recorded latency, the
+    request is logged as a ``throttling`` probe."""
+
+    sql: str
+    rate: float
+    ops: int
+
+    name = "hot_shard_throttle"
+
+    def detail(self) -> str:
+        return f"{self.sql} [rate={self.rate} ops={self.ops}]"
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        if cluster.refresh_degraded():
+            return "refused"
+        up = sorted(n.name for n in cluster.up_nodes())
+        if not up:
+            return "refused"
+        for name in up:
+            cluster.nodes[name].cache.clear()
+        expected = world.oracle.query_rows(self.sql)
+        cluster.shared.faults.begin_burst(self.rate, self.ops)
+        mark = _request_mark(world)
+        try:
+            actual = rows_key(cluster.query(self.sql))
+        except StorageUnavailable:
+            return "storage_unavailable"
+        except TransientStorageError:
+            return "gave_up_transient"
+        except ObjectNotFound as exc:
+            raise InvariantViolation(
+                "catalog-storage",
+                world.seed,
+                world.step,
+                f"throttle probe {self.sql!r} read a missing object: {exc}",
+            )
+        if actual != expected:
+            raise InvariantViolation(
+                "oracle-equivalence",
+                world.seed,
+                world.step,
+                f"throttle probe {self.sql!r}: cluster={actual[:4]} "
+                f"oracle={expected[:4]}",
+            )
+        for record in _requests_since(world, mark):
+            if (
+                record.retries > 0
+                and record.retry_backoff_seconds > record.duration_seconds / 2
+            ):
+                world.note_doctor_probe(record.request_id, "throttling")
+                break
+        return "ok"
+
+
+@dataclass(frozen=True)
+class StragglerFailoverProbe:
+    """A slow-node straggler: warm the depot with one clean run of the
+    query, then kill a survivable participant mid-query and require
+    session failover to finish it.  The warm depot keeps storage I/O out
+    of the retried attempt, so the failover backoff penalty is the
+    latency story; when it dominated, the request is logged as a
+    ``failover backoff`` probe."""
+
+    sql: str
+
+    name = "straggler_failover"
+
+    def detail(self) -> str:
+        return self.sql
+
+    def apply(self, world) -> str:
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        if cluster.refresh_degraded():
+            return "refused"
+        expected = world.oracle.query_rows(self.sql)
+        try:
+            warm = rows_key(cluster.query(self.sql))
+        except StorageUnavailable:
+            return "storage_unavailable"
+        except TransientStorageError:
+            return "gave_up_transient"
+        except ObjectNotFound as exc:
+            raise InvariantViolation(
+                "catalog-storage",
+                world.seed,
+                world.step,
+                f"straggler warmup {self.sql!r} read a missing object: {exc}",
+            )
+        if warm != expected:
+            raise InvariantViolation(
+                "oracle-equivalence",
+                world.seed,
+                world.step,
+                f"straggler warmup {self.sql!r}: cluster={warm[:4]} "
+                f"oracle={expected[:4]}",
+            )
+        try:
+            session = cluster.create_session()
+        except ClusterError:
+            return "refused"
+        try:
+            participants = sorted(session.participants())
+            victims = _survivable_victims(
+                world, [p for p in participants if p != session.initiator]
+            ) or _survivable_victims(world, participants)
+            if not victims:
+                return "refused"
+            victim = victims[0]
+            world.release_pins_touching(victim)
+            world.cleanup_completed = False
+            try:
+                cluster.kill_node(victim)
+            except (QuorumLost, ShardCoverageLost):
+                return "shutdown"
+            mark = _request_mark(world)
+            statement = parse(self.sql)[0]
+            try:
+                actual = rows_key(
+                    cluster.query_statement(
+                        statement,
+                        session=session,
+                        request_text=self.sql,
+                        failover=True,
+                    )
+                )
+            except NodeDown as exc:
+                if not cluster.uncovered_shards():
+                    raise InvariantViolation(
+                        "query-failover",
+                        world.seed,
+                        world.step,
+                        f"{self.sql!r} failed with NodeDown ({exc}) although "
+                        "surviving up ACTIVE subscribers cover every shard",
+                    )
+                return "shutdown"
+            except StorageUnavailable:
+                return "storage_unavailable"
+            except TransientStorageError:
+                return "gave_up_transient"
+            except ObjectNotFound as exc:
+                raise InvariantViolation(
+                    "catalog-storage",
+                    world.seed,
+                    world.step,
+                    f"straggler query {self.sql!r} read a missing object: {exc}",
+                )
+            if actual != expected:
+                raise InvariantViolation(
+                    "oracle-equivalence",
+                    world.seed,
+                    world.step,
+                    f"straggler {self.sql!r}: cluster={actual[:4]} "
+                    f"oracle={expected[:4]}",
+                )
+            for record in _requests_since(world, mark):
+                if (
+                    record.failover_backoff_seconds
+                    > record.duration_seconds / 2
+                ):
+                    world.note_doctor_probe(
+                        record.request_id, "failover backoff"
+                    )
+                    break
+            return "ok"
+        finally:
+            session.release()

@@ -352,6 +352,110 @@ class PushdownScenarioGenerator(ScenarioGenerator):
         )
 
 
+class NoisyNeighborScenarioGenerator(ScenarioGenerator):
+    """Doctor scenario pack, tenant-contention flavor: boosted
+    ``noisy_neighbor`` probes — closed-loop storms sized to saturate the
+    execution-slot pools, logging ``queue wait`` doctor probes whenever a
+    storm request spent most of its latency in the admission queue.  The
+    base menu is untouched, so the base corpus's schedules are unshifted."""
+
+    def _menu(self, world):
+        menu = super()._menu(world)
+        if world.cluster.shut_down:
+            return menu
+        menu.append((20.0, self._noisy_neighbor))
+        return menu
+
+    def _noisy_neighbor(self, world) -> act.NoisyNeighborProbe:
+        count = 2 + self.rng.randrange(2)
+        sqls = tuple(
+            self.QUERY_POOL[self.rng.randrange(len(self.QUERY_POOL))].format(
+                table=world.table, cut=self._cut()
+            )
+            for _ in range(count)
+        )
+        # More clients than the storm action's usual draw: queue wait only
+        # dominates when arrivals outnumber the pools' execution slots.
+        clients = 6 + self.rng.randrange(5)
+        return act.NoisyNeighborProbe(
+            sqls=sqls, clients=clients, requests_per_client=2
+        )
+
+
+class DepotStampedeScenarioGenerator(ScenarioGenerator):
+    """Doctor scenario pack, thundering-herd flavor: boosted
+    ``depot_stampede`` probes — mass depot loss followed by a cold full
+    scan, logging ``depot misses`` doctor probes when shared-storage time
+    dominated.  Base-menu schedules are unshifted."""
+
+    def _menu(self, world):
+        menu = super()._menu(world)
+        cluster = world.cluster
+        if cluster.shut_down:
+            return menu
+        if not cluster.shared.outage_active:
+            menu.append((25.0, self._depot_stampede))
+        return menu
+
+    def _depot_stampede(self, world) -> act.DepotStampedeProbe:
+        # Full-scan templates only (no WHERE): the stampede should touch
+        # every container of the table, all cold.
+        template = self.QUERY_POOL[self.rng.randrange(4)]
+        return act.DepotStampedeProbe(
+            template.format(table=world.table, cut=0)
+        )
+
+
+class HotShardScenarioGenerator(ScenarioGenerator):
+    """Doctor scenario pack, skewed-shard-hotspot flavor: boosted
+    ``hot_shard_throttle`` probes — a cold scan driven into a throttling
+    burst, logging ``throttling`` doctor probes when the retry loop's
+    backoff dominated.  Base-menu schedules are unshifted."""
+
+    def _menu(self, world):
+        menu = super()._menu(world)
+        cluster = world.cluster
+        if cluster.shut_down:
+            return menu
+        if not cluster.shared.outage_active:
+            menu.append((25.0, self._hot_shard))
+        return menu
+
+    def _hot_shard(self, world) -> act.HotShardThrottleProbe:
+        template = self.QUERY_POOL[self.rng.randrange(4)]
+        # Rates around 0.5: high enough that most requests retry (backoff
+        # 0.05*2^k quickly dwarfs the ~ms-scale GET service time), low
+        # enough that giving up after 5 attempts stays the exception.
+        rate = round(0.45 + self.rng.random() * 0.2, 3)
+        ops = self.rng.randrange(12, 30)
+        return act.HotShardThrottleProbe(
+            template.format(table=world.table, cut=0), rate=rate, ops=ops
+        )
+
+
+class StragglerScenarioGenerator(ScenarioGenerator):
+    """Doctor scenario pack, slow-node-straggler flavor: boosted
+    ``straggler_failover`` probes — warm the depot, kill a participant
+    mid-query, and require failover, logging ``failover backoff`` doctor
+    probes when the retry penalty dominated.  Gated on a killable node
+    and no active outage; base-menu schedules are unshifted."""
+
+    def _menu(self, world):
+        menu = super()._menu(world)
+        cluster = world.cluster
+        if cluster.shut_down:
+            return menu
+        if self._killable_nodes(world) and not cluster.shared.outage_active:
+            menu.append((20.0, self._straggler))
+        return menu
+
+    def _straggler(self, world) -> act.StragglerFailoverProbe:
+        template = self.QUERY_POOL[self.rng.randrange(len(self.QUERY_POOL))]
+        return act.StragglerFailoverProbe(
+            template.format(table=world.table, cut=self._cut())
+        )
+
+
 class ChaosScenarioGenerator(ScenarioGenerator):
     """The ``make chaos-smoke`` configuration: the recovery-path actions
     (``kill_mid_query``, ``s3_outage``) pinned on with boosted weights, so

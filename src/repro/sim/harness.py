@@ -96,6 +96,11 @@ class SimWorld:
         #: keeps this high-water mark for the SELECT dollar ledger.
         self.pushdown_checks: List[tuple] = []
         self.select_dollars_floor = 0.0
+        #: Doctor-attribution log: (step, request_id, expected_cause)
+        #: entries written by the overload probe actions when their
+        #: injected condition actually bit; tests replay these through
+        #: :func:`repro.obs.doctor.diagnose` and compare verdicts.
+        self.doctor_probes: List[tuple] = []
         #: Attached lazily by the first ``autoscale_tick`` action; the
         #: ``autoscale-safety`` invariant audits it every later step.
         self.autoscaler = None
@@ -169,6 +174,12 @@ class SimWorld:
         )
         del self.pushdown_checks[:-256]
 
+    def note_doctor_probe(self, request_id: int, expected_cause: str) -> None:
+        """Record one overload probe whose injected condition landed
+        (bounded log; see :attr:`doctor_probes`)."""
+        self.doctor_probes.append((self.step, request_id, expected_cause))
+        del self.doctor_probes[:-64]
+
 
 class CampaignResult:
     """Outcome of one campaign or replay."""
@@ -181,6 +192,7 @@ class CampaignResult:
         schedule: List,
         violation: Optional[InvariantViolation],
         metrics: Optional[dict] = None,
+        world: Optional[SimWorld] = None,
     ):
         self.seed = seed
         self.trace = trace
@@ -190,6 +202,9 @@ class CampaignResult:
         #: Cluster-wide depot/S3 summary at campaign end (see
         #: :func:`repro.obs.metrics.cluster_metrics`).
         self.metrics = metrics or {}
+        #: The finished world, for post-mortem telemetry reads — e.g.
+        #: replaying :attr:`SimWorld.doctor_probes` through the doctor.
+        self.world = world
 
     @property
     def ok(self) -> bool:
@@ -241,7 +256,10 @@ def _execute_step(
     if violation is not None:
         # Attach the failing step's spans: what the cluster was doing when
         # the invariant broke, alongside the (seed, step) repro handle.
+        # ``trace_truncated`` flags a window that lost spans to the bounded
+        # deque — an incomplete trace must not masquerade as the whole story.
         violation.trace = tracer.spans_since(mark)
+        violation.trace_truncated = tracer.truncated_since(mark)
     return violation if registry.halt else None
 
 
@@ -273,7 +291,7 @@ def run_campaign(
     world.release_all_pins()
     return CampaignResult(
         seed, trace, registry, schedule, violation,
-        metrics=cluster_metrics(world.cluster),
+        metrics=cluster_metrics(world.cluster), world=world,
     )
 
 
@@ -297,5 +315,5 @@ def replay_schedule(
     world.release_all_pins()
     return CampaignResult(
         seed, trace, registry, list(schedule), violation,
-        metrics=cluster_metrics(world.cluster),
+        metrics=cluster_metrics(world.cluster), world=world,
     )

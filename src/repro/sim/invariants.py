@@ -27,6 +27,9 @@ class InvariantViolation(ReproError):
     #: the world's observability is enabled) — the "what was the cluster
     #: doing" context for a repro handle.
     trace: Optional[List] = None
+    #: True when the span window above lost spans to the tracer's bounded
+    #: buffer — the attached trace is incomplete, not the whole step.
+    trace_truncated: bool = False
 
     def __init__(self, invariant: str, seed: int, step: int, detail: str):
         self.invariant = invariant

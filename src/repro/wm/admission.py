@@ -89,6 +89,7 @@ class PendingAdmission:
         demand: Dict[str, int],
         resources: List[Resource],
         enqueued_at: float,
+        initiator: str = "",
     ):
         self._controller = controller
         self._pool = pool
@@ -96,6 +97,7 @@ class PendingAdmission:
         #: Yield this from the waiting process; it resumes on atomic grant.
         self.effect = AcquireAll(resources)
         self.enqueued_at = enqueued_at
+        self.initiator = initiator
         self._settled = False
 
     def granted(self) -> AdmissionTicket:
@@ -114,13 +116,17 @@ class PendingAdmission:
             pool.timeouts += 1
             controller._count("wm.timeouts", pool=pool.name)
             controller._count("wm.rejected", pool=pool.name, reason="timeout")
+            controller._dc_record(
+                self.initiator, pool, "reject", "timeout",
+                sum(self.demand.values()), wait,
+            )
             raise AdmissionRejected(
                 f"pool {pool.name!r}: queued {wait:.3f}s, timeout "
                 f"{pool.config.queue_timeout_seconds:.3f}s",
                 pool=pool.name,
                 reason="timeout",
             )
-        return controller._issue(pool, self.demand, wait)
+        return controller._issue(pool, self.demand, wait, self.initiator)
 
     def cancel(self) -> None:
         """Withdraw without a grant (the waiting process never resumed).
@@ -245,7 +251,7 @@ class AdmissionController:
         self.refresh()
         demand = self.clamp_demand(demand)
         pool = self.pool_for(initiator)
-        self._check_draining(pool)
+        self._check_draining(pool, initiator)
         busy = [
             node
             for node, amount in demand.items()
@@ -254,6 +260,9 @@ class AdmissionController:
         if busy:
             pool.rejected_busy += 1
             self._count("wm.rejected", pool=pool.name, reason="busy")
+            self._dc_record(
+                initiator, pool, "reject", "busy", sum(demand.values()), 0.0
+            )
             raise AdmissionRejected(
                 f"pool {pool.name!r}: slots busy on {sorted(busy)}",
                 pool=pool.name,
@@ -261,14 +270,14 @@ class AdmissionController:
             )
         for node, amount in demand.items():
             self.node_slots[node].in_use += amount
-        return self._issue(pool, demand, 0.0)
+        return self._issue(pool, demand, 0.0, initiator)
 
     def enqueue(self, demand: Dict[str, int], initiator: str) -> PendingAdmission:
         """Queued admission for clock processes; see :class:`PendingAdmission`."""
         self.refresh()
         demand = self.clamp_demand(demand)
         pool = self.pool_for(initiator)
-        self._check_draining(pool)
+        self._check_draining(pool, initiator)
         if self.clock.now < pool.shed_until:
             # Breaker open: shed in O(1).  Waiters already in the queue
             # keep their place — a queued AcquireAll cannot be revoked
@@ -277,6 +286,9 @@ class AdmissionController:
             pool.sheds += 1
             self._count("wm.sheds", pool=pool.name)
             self._count("wm.rejected", pool=pool.name, reason="shed")
+            self._dc_record(
+                initiator, pool, "reject", "shed", sum(demand.values()), 0.0
+            )
             raise AdmissionRejected(
                 f"pool {pool.name!r}: shedding load until "
                 f"t={pool.shed_until:.3f} (queue overflowed)",
@@ -292,6 +304,10 @@ class AdmissionController:
                 pool.breaker_trips += 1
                 self._count("wm.breaker_trips", pool=pool.name)
             self._count("wm.rejected", pool=pool.name, reason="queue_full")
+            self._dc_record(
+                initiator, pool, "reject", "queue_full",
+                sum(demand.values()), 0.0,
+            )
             raise AdmissionRejected(
                 f"pool {pool.name!r}: queue full "
                 f"({pool.queued}/{pool.config.max_queue_depth})",
@@ -301,7 +317,9 @@ class AdmissionController:
         resources: List[Resource] = []
         for node in sorted(demand):
             resources.extend([self.node_slots[node]] * demand[node])
-        pending = PendingAdmission(self, pool, demand, resources, self.clock.now)
+        pending = PendingAdmission(
+            self, pool, demand, resources, self.clock.now, initiator
+        )
         pool.queued += 1
         pool.queued_admissions += 1
         pool.peak_queue_depth = max(pool.peak_queue_depth, pool.queued)
@@ -309,13 +327,17 @@ class AdmissionController:
         self._waiting.append(pending)
         self._count("wm.queued", pool=pool.name)
         self._gauge_queue_depth(pool)
+        self._dc_record(
+            initiator, pool, "queue", "", sum(demand.values()), 0.0
+        )
         return pending
 
-    def _check_draining(self, pool: ResourcePool) -> None:
+    def _check_draining(self, pool: ResourcePool, initiator: str = "") -> None:
         if not pool.draining:
             return
         pool.rejected_draining += 1
         self._count("wm.rejected", pool=pool.name, reason="draining")
+        self._dc_record(initiator, pool, "reject", "draining", 0, 0.0)
         raise AdmissionRejected(
             f"pool {pool.name!r}: draining (no new admissions)",
             pool=pool.name,
@@ -362,7 +384,11 @@ class AdmissionController:
         return len(stuck)
 
     def _issue(
-        self, pool: ResourcePool, demand: Dict[str, int], wait: float
+        self,
+        pool: ResourcePool,
+        demand: Dict[str, int],
+        wait: float,
+        initiator: str = "",
     ) -> AdmissionTicket:
         ticket = AdmissionTicket(next(self._ticket_ids), pool.name, demand, wait)
         self.active[ticket.ticket_id] = ticket
@@ -373,6 +399,9 @@ class AdmissionController:
         if obs is not None:
             obs.metrics.counter("wm.admitted", pool=pool.name).inc()
             obs.metrics.histogram("wm.queue_wait_seconds").observe(wait)
+        self._dc_record(
+            initiator, pool, "admit", "", sum(demand.values()), wait
+        )
         return ticket
 
     # -- introspection (system tables, metrics, invariants) ----------------------
@@ -416,3 +445,21 @@ class AdmissionController:
         obs = self._obs()
         if obs is not None:
             obs.metrics.gauge("wm.queue_depth", pool=pool.name).set(pool.queued)
+
+    def _dc_record(
+        self,
+        initiator: str,
+        pool: ResourcePool,
+        decision: str,
+        reason: str,
+        slots: int,
+        wait: float,
+    ) -> None:
+        """One row into ``dc_admission_decisions`` (no-op when disabled)."""
+        obs = self._obs()
+        if obs is not None:
+            obs.dc.record(
+                "dc_admission_decisions",
+                initiator,
+                (pool.name, decision, reason, int(slots), float(wait)),
+            )

@@ -301,3 +301,73 @@ class TestObservabilityObject:
     def test_request_ids_monotonic(self):
         obs = Observability(clock=SimClock())
         assert [obs.next_request_id() for _ in range(3)] == [1, 2, 3]
+
+
+class TestSnapshotMergeSemantics:
+    """Regressions for the cluster-wide rollup: ratio gauges must not sum
+    across nodes, and a delta must cover the union of both key sets."""
+
+    def test_merge_keeps_latest_ratio_gauge_and_sums_occupancy(self):
+        stale = MetricsSnapshot(
+            1.0, {}, {"depot.hit_rate": 0.5, "cache.bytes": 100}, {}
+        )
+        fresh = MetricsSnapshot(
+            2.0, {}, {"depot.hit_rate": 0.9, "cache.bytes": 50}, {}
+        )
+        merged = MetricsSnapshot.merge([fresh, stale])
+        # A rate averaged-by-summing would read 1.4 — nonsense; the newest
+        # snapshot carrying the key wins regardless of list position.
+        assert merged.gauges["depot.hit_rate"] == 0.9
+        assert merged.gauges["cache.bytes"] == 150
+
+    def test_merge_ratio_gauge_tie_prefers_later_position(self):
+        a = MetricsSnapshot(3.0, {}, {"pool_utilization": 0.2}, {})
+        b = MetricsSnapshot(3.0, {}, {"pool_utilization": 0.8}, {})
+        assert MetricsSnapshot.merge([a, b]).gauges["pool_utilization"] == 0.8
+
+    def test_delta_keeps_keys_only_in_earlier_snapshot(self):
+        earlier = MetricsSnapshot(
+            0.0,
+            {"retired.counter": 5},
+            {},
+            {"h": {"count": 2, "sum": 1.0, "buckets": [2]}},
+        )
+        later = MetricsSnapshot(1.0, {"new.counter": 3}, {}, {})
+        delta = later.delta(earlier)
+        assert delta.counters["new.counter"] == 3
+        # An instrument retired between snapshots must not silently vanish.
+        assert delta.counters["retired.counter"] == -5
+        assert delta.histograms["h"]["count"] == -2
+        assert delta.histograms["h"]["buckets"] == [-2]
+
+
+class TestTracerDropAccounting:
+    """Regressions for silent span loss: evictions are counted, exported
+    as ``obs.spans_dropped``, and flagged per read window."""
+
+    def test_eviction_counts_drops_and_bumps_counter(self, clock):
+        reg = MetricsRegistry(clock)
+        tracer = Tracer(clock, max_spans=3, registry=reg)
+        for i in range(5):
+            tracer.record(f"s{i}")
+        assert tracer.dropped == 2
+        assert reg.counter("obs.spans_dropped").value == 2
+        assert [s.name for s in tracer.spans] == ["s2", "s3", "s4"]
+
+    def test_truncated_since_flags_eaten_windows(self, clock):
+        tracer = Tracer(clock, max_spans=3)
+        tracer.record("a")
+        early_mark = tracer.mark()
+        assert not tracer.truncated_since(early_mark)
+        for i in range(4):
+            tracer.record(f"b{i}")
+        # Spans 1-2 were evicted: the early window is incomplete, a window
+        # opened now is not.
+        assert tracer.truncated_since(early_mark)
+        assert not tracer.truncated_since(tracer.mark())
+
+    def test_cluster_violation_window_wiring(self):
+        cluster = EonCluster(["n1", "n2"], shard_count=2, seed=4)
+        obs = cluster.enable_observability()
+        assert obs.tracer.dropped == 0
+        assert not obs.tracer.truncated_since(obs.tracer.mark())

@@ -176,3 +176,109 @@ class TestObservabilityCommands:
         ])
         assert "(3 rows)" in text(output)
         assert "n1" in text(output)
+
+
+class TestDoctorCommand:
+    def test_doctor_before_observability_reports_error(self, shell_io):
+        shell, output = shell_io
+        shell.run(["\\doctor"])
+        assert "ERROR" in text(output)
+
+    def test_doctor_renders_verdict_after_profiled_query(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "create table t (a int);",
+            "insert into t values (1), (2), (3);",
+            "\\profile select count(*) from t;",
+            "\\doctor",
+        ])
+        assert "dominant cause:" in text(output)
+        assert "breakdown:" in text(output)
+
+    def test_doctor_accepts_explicit_request_id(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "create table t (a int);",
+            "insert into t values (1);",
+            "\\profile select a from t;",
+        ])
+        request_id = shell.cluster.obs.requests[-1].request_id
+        shell.run([f"\\doctor {request_id}"])
+        assert f"request {request_id}" in text(output)
+        assert "dominant cause:" in text(output)
+
+    def test_doctor_unknown_id_reports_error(self, shell_io):
+        shell, output = shell_io
+        shell.run([
+            "create table t (a int);",
+            "insert into t values (1);",
+            "\\profile select a from t;",
+            "\\doctor 424242",
+        ])
+        assert "ERROR" in text(output)
+
+    def test_doctor_non_integer_argument_prints_usage(self, shell_io):
+        shell, output = shell_io
+        shell.run(["\\doctor soon"])
+        assert "usage: \\doctor" in text(output)
+
+    def test_doctor_listed_in_help(self, shell_io):
+        shell, output = shell_io
+        shell.run(["\\help"])
+        assert "\\doctor" in text(output)
+
+
+class TestEnterpriseShell:
+    """The shell is backend-agnostic: the same meta commands run over a
+    cluster with no depots, no shared storage, and no ``execute()``."""
+
+    @pytest.fixture
+    def ent_shell_io(self):
+        from repro import ColumnType, EnterpriseCluster
+
+        cluster = EnterpriseCluster(["e1", "e2", "e3"], seed=19)
+        cluster.create_table("t", [("a", ColumnType.INT)])
+        cluster.load("t", [(i,) for i in range(30)])
+        output = []
+        return Shell(cluster, output.append), output
+
+    def test_select_round_trip(self, ent_shell_io):
+        shell, output = ent_shell_io
+        shell.run(["select count(*) from t;"])
+        assert "(1 rows)" in text(output)
+        assert "30" in text(output)
+
+    def test_stats_before_query_does_not_crash(self, ent_shell_io):
+        shell, output = ent_shell_io
+        shell.run(["\\stats"])
+        assert "no query yet" in text(output)
+        # No shared storage: the S3 ledger section is simply absent.
+        assert "s3:" not in text(output)
+
+    def test_stats_after_query_shows_latency(self, ent_shell_io):
+        shell, output = ent_shell_io
+        shell.run([
+            "select count(*) from t;",
+            "\\stats",
+        ])
+        assert "latency=" in text(output)
+
+
+class TestStatsSelectTotals:
+    def test_stats_reports_pushdown_scan_totals(self):
+        cluster = EonCluster(
+            ["n1", "n2"], shard_count=2, seed=31, pushdown="on"
+        )
+        output = []
+        shell = Shell(cluster, output.append)
+        shell.run(["create table t (a int, b int);"])
+        cluster.load("t", [(i, i * 3) for i in range(200)])
+        for node in cluster.nodes.values():
+            node.cache.clear()
+        shell.run([
+            "select sum(b) from t where a < 10;",
+            "\\stats",
+        ])
+        assert cluster.shared.op_stats["SELECT"].requests > 0
+        assert "selects=" in text(output)
+        assert "bytes_scanned=" in text(output)

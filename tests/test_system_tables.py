@@ -183,3 +183,35 @@ class TestSqlPathIntegration:
         )
         assert [r[0] for r in rows] == ["n1", "n2"]
         assert len(quiet.obs.requests) == 0
+
+
+class TestGenericBackendFallback:
+    """``dc_storage_operations`` over a backend without per-op-class
+    accounting (HDFS) must report the same five op classes — SELECT
+    included — sourced from the aggregate ledger."""
+
+    def test_all_op_classes_reported_from_aggregate_metrics(self):
+        from repro.shared_storage.hdfs import SimulatedHDFS
+
+        cluster = EonCluster(
+            ["n1", "n2"], shard_count=2, seed=5,
+            shared_storage=SimulatedHDFS(),
+        )
+        cluster.execute("create table t (k int)")
+        cluster.load("t", [(i,) for i in range(40)])
+        cluster.enable_observability()
+        cluster.query("select count(*) from t", use_cache=False)
+        rows = rows_of(
+            cluster,
+            "select operation, requests, bytes"
+            " from v_monitor.dc_storage_operations",
+        )
+        assert [r[0] for r in rows] == \
+            ["DELETE", "GET", "LIST", "PUT", "SELECT"]
+        by_op = {r[0]: (r[1], r[2]) for r in rows}
+        m = cluster.shared.metrics
+        assert by_op["GET"] == (m.get_requests, m.bytes_read)
+        assert by_op["PUT"] == (m.put_requests, m.bytes_written)
+        assert by_op["GET"][0] > 0
+        # No server-side compute on HDFS: present, and zero.
+        assert by_op["SELECT"] == (0, 0)
