@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke wm-smoke engine-smoke autoscale-smoke pushdown-smoke doctor-smoke bench bench-smoke obs-demo
+.PHONY: default test test-fast lint sim-smoke sim-campaign chaos-smoke wm-smoke engine-smoke autoscale-smoke pushdown-smoke doctor-smoke designer-smoke bench bench-smoke obs-demo
 
 # Default flow: lint, then the tier-1 suite.
 default: lint test
@@ -11,7 +11,7 @@ test:
 
 # Inner-loop subset: everything except the sim campaigns and slow sweeps.
 test-fast:
-	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos and not wm and not engine and not autoscale and not pushdown and not doctor"
+	$(PY) -m pytest -x -q -m "not sim and not slow and not chaos and not wm and not engine and not autoscale and not pushdown and not doctor and not designer"
 
 # Lint with ruff when available; fall back to a syntax sweep (compileall)
 # so `make lint` is meaningful in offline environments without ruff.
@@ -59,6 +59,13 @@ pushdown-smoke:
 # recording bit-identity wall.
 doctor-smoke:
 	$(PY) -m pytest tests/test_doctor.py -m doctor -q
+
+# Designer confidence check: the cost-based designer's property wall
+# (emitted DDL parses, binds, and stays inside the schema), the TPC-H
+# apply differential (bit-identical digests across re-designs), and the
+# redesign-boosted campaigns with the designer-digest-parity invariant.
+designer-smoke:
+	$(PY) -m pytest tests/test_designer_property.py tests/test_designer_differential.py tests/test_designer_campaign.py -m designer -q
 
 # Longer chaos run straight from the CLI (prints per-seed digests).
 sim-campaign:

@@ -209,6 +209,36 @@ class EnterpriseCluster:
             ops.append(op_create_projection(projection.make_buddy()))
         return self._commit(ops)
 
+    def drop_projections(self, names: Sequence[str]) -> int:
+        """Drop projections (and their buddies) in one commit; refuses to
+        drop a table's last non-buddy projection."""
+        state = self.catalog.state
+        remaining: Dict[str, int] = {}
+        to_drop: List[str] = []
+        for name in names:
+            projection = state.projection(name)
+            table = projection.anchor_table
+            if table not in remaining:
+                remaining[table] = len(
+                    [p for p in state.projections_of(table) if not p.is_buddy]
+                )
+            remaining[table] -= 1
+            if remaining[table] < 1:
+                raise CatalogError(
+                    f"cannot drop {name!r}: it is the last projection of "
+                    f"table {table!r}"
+                )
+            to_drop.append(name)
+            for buddy in state.projections_of(table):
+                if buddy.is_buddy and buddy.buddy_of == name:
+                    to_drop.append(buddy.name)
+        from repro.catalog.mvcc import op_drop_projection
+
+        return self._commit([op_drop_projection(n) for n in to_drop])
+
+    def drop_projection(self, name: str) -> int:
+        return self.drop_projections([name])
+
     # -- load ------------------------------------------------------------------------
 
     def load(self, table_name: str, rows, direct: Optional[bool] = None):

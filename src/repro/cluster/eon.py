@@ -31,6 +31,7 @@ from repro.catalog.mvcc import (
     op_create_projection,
     op_create_table,
     op_create_user,
+    op_drop_projection,
     op_drop_subscription,
     op_drop_table,
     op_set_property,
@@ -178,6 +179,9 @@ class EonCluster:
         #: Set by repro.autoscale.Autoscaler when one is attached, so
         #: v_monitor.autoscale_events and cluster_metrics can reach it.
         self.autoscaler = None
+        #: DesignerRun records appended by DatabaseDesigner.apply(), read
+        #: back through v_monitor.designer_runs.
+        self.designer_runs: List = []
         # Outage windows are clock-driven; bind the cluster clock to the
         # backend's fault injector when it has one.
         faults = getattr(self.shared, "faults", None)
@@ -518,13 +522,24 @@ class EonCluster:
         # Snapshot the table contents *before* the new (empty) projection
         # exists, so the refresh scan reads through an existing projection.
         refresh_rows = self._table_snapshot_rows(table, columns) if needs_refresh else None
+        # One transaction for create + refresh: the projection and its
+        # containers become visible together, so no catalog version ever
+        # shows an *empty* projection of a non-empty table (which the
+        # planner could pick and silently return no rows from).  Container
+        # files upload before the commit under this instance's prefix, so
+        # a failed commit leaks only reaper-recoverable files.
         txn = self.begin()
         txn.add_op(op_create_projection(projection))
-        version = self.commit(txn)
         if refresh_rows is not None:
-            self._refresh_projection(projection, refresh_rows)
-            version = self.version
-        return version
+            from repro.load.copy import CopyReport, _load_projection
+
+            state = self.any_up_node().catalog.state
+            report = CopyReport()
+            _load_projection(
+                self, state.table(table), projection, refresh_rows,
+                txn, report, True,
+            )
+        return self.commit(txn)
 
     def _table_snapshot_rows(self, table_name: str, columns: Sequence[str]) -> RowSet:
         column_list = ", ".join(columns)
@@ -534,17 +549,35 @@ class EonCluster:
         schema = table.schema.subset(list(columns))
         return RowSet(schema, dict(result.rows.columns))
 
-    def _refresh_projection(self, projection: Projection, rows: RowSet) -> None:
-        """Populate a new projection with a re-segmented copy of the data."""
-        from repro.load.copy import CopyReport, _load_projection
+    def drop_projections(self, names: Sequence[str]) -> int:
+        """Drop projections in one transaction (the designer drops every
+        superseded ``_dbd`` version atomically once replacements exist).
 
+        Refuses to drop a table's last projection: a table must stay
+        readable.  Refcount-zero container files are reaped by the commit
+        path's referenced-set diff."""
         state = self.any_up_node().catalog.state
-        table = state.table(projection.anchor_table)
+        remaining: Dict[str, int] = {}
+        for name in names:
+            projection = state.projection(name)  # raises CatalogError if missing
+            table = projection.anchor_table
+            if table not in remaining:
+                remaining[table] = len(
+                    [p for p in state.projections_of(table) if not p.is_buddy]
+                )
+            remaining[table] -= 1
+            if remaining[table] < 1:
+                raise CatalogError(
+                    f"cannot drop {name!r}: it is the last projection of "
+                    f"table {table!r}"
+                )
         txn = self.begin()
-        report = CopyReport()
-        _load_projection(self, table, projection, rows, txn, report, True)
-        if not txn.read_only:
-            self.commit(txn)
+        for name in names:
+            txn.add_op(op_drop_projection(name))
+        return self.commit(txn)
+
+    def drop_projection(self, name: str) -> int:
+        return self.drop_projections([name])
 
     def _table_has_data(self, table: str) -> bool:
         # Storage metadata is sharded: a single node's catalog only covers

@@ -3,10 +3,11 @@
 Converts a :class:`~repro.sql.binder.BoundQuery` into a physical plan,
 making the three decisions Vertica's optimizer makes that matter for Eon:
 
-1. **Projection choice** per table: a covering projection, preferring one
-   whose segmentation matches the table's join keys (enabling a local
-   join), then a replicated one, then any covering one.  Live aggregate
-   projections rewrite matching single-table aggregations into LAP scans.
+1. **Projection choice** per table: a covering projection, preferring a
+   *local* one — segmentation matching the table's join keys, or
+   replicated (either way the join needs no broadcast) — then the
+   narrowest covering one.  Live aggregate projections rewrite matching
+   single-table aggregations into LAP scans.
 2. **Join locality**: a join is local when the build side is replicated or
    both sides are co-segmented through the equi-join keys (section 4:
    "identical values will be hashed to same value, be stored in the same
@@ -226,17 +227,18 @@ def _choose_projection(
         raise PlanningError(
             f"no projection of {table!r} covers columns {sorted(needed)}"
         )
-    # Prefer co-segmentation with this table's join keys, then replicated,
-    # then fewest columns (narrowest covering projection).
+    # Prefer a *local* projection — one whose segmentation matches this
+    # table's join keys, or a replicated one (``_join_locality`` treats
+    # both the same: neither needs a broadcast) — then fewest columns
+    # (narrowest covering projection).  Ranking replicated projections as
+    # local keeps a query mix on one set of containers: without it, joins
+    # pick the co-segmented super while scans pick a replicated designed
+    # projection, and the depot pays cold fetches for both.
     def rank(p: Projection) -> tuple:
         seg_cols = set(p.segmentation.columns)
         co_segmented = bool(seg_cols) and seg_cols <= join_keys
-        return (
-            0 if co_segmented else 1,
-            0 if p.segmentation.is_replicated else 1,
-            len(p.columns),
-            p.name,
-        )
+        local = co_segmented or p.segmentation.is_replicated
+        return (0 if local else 1, len(p.columns), p.name)
 
     return min(candidates, key=rank)
 

@@ -324,6 +324,33 @@ def _autoscale_events(cluster) -> List[tuple]:
     ]
 
 
+def _designer_runs(cluster) -> List[tuple]:
+    # Served from DesignerRun records appended by DatabaseDesigner.apply()
+    # (if any); same absent-is-empty discipline as v_monitor.services.
+    runs = getattr(cluster, "designer_runs", None)
+    if not runs:
+        return []
+    return [
+        (
+            r.run_id,
+            r.at_seconds,
+            r.queries_used,
+            r.queries_skipped,
+            r.candidates_scored,
+            r.search_mode,
+            r.regret_bound,
+            r.estimated_seconds,
+            r.baseline_seconds,
+            r.estimated_s3_gets,
+            r.baseline_s3_gets,
+            ",".join(r.created),
+            ",".join(r.dropped),
+            ",".join(r.kept),
+        )
+        for r in runs
+    ]
+
+
 def _dc_event_producer(table: str):
     """Producer for one Data Collector event table.
 
@@ -455,6 +482,18 @@ SYSTEM_TABLES: Dict[str, SystemTableDef] = {
                 ("detail", _S),
             ),
             _autoscale_events,
+        ),
+        SystemTableDef(
+            "designer_runs",
+            _schema(
+                ("run_id", _I), ("at_seconds", _F), ("queries_used", _I),
+                ("queries_skipped", _I), ("candidates_scored", _I),
+                ("search_mode", _S), ("regret_bound", _F),
+                ("estimated_seconds", _F), ("baseline_seconds", _F),
+                ("estimated_s3_gets", _F), ("baseline_s3_gets", _F),
+                ("created", _S), ("dropped", _S), ("kept", _S),
+            ),
+            _designer_runs,
         ),
         SystemTableDef(
             "dc_storage_operations",

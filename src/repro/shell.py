@@ -11,6 +11,8 @@ SQL statements end with ``;``.  Backslash meta-commands mirror vsql's:
     \\stats        stats of the last query + cluster depot/S3 totals
     \\profile SQL  run a query with profiling; print per-operator profile
     \\doctor [ID]  explain why a recorded query was slow (default: slowest)
+    \\design [apply]  cost-based designer over the recorded workload;
+                  with ``apply``, create/drop projections and log the run
     \\kill NODE    kill a node
     \\recover NODE recover a node
     \\q            quit
@@ -151,6 +153,50 @@ class Shell:
 
     # -- meta commands ----------------------------------------------------------------
 
+    def _design(self, args: List[str]) -> None:
+        """Run the cost-based designer over the recorded workload; with
+        ``apply``, create the winning projections and drop superseded
+        ``_dbd`` versions."""
+        from repro.engine.designer import DatabaseDesigner
+
+        self.cluster.enable_observability()
+        designer = DatabaseDesigner.for_cluster(self.cluster)
+        report = designer.ingest_recorded(self.cluster)
+        for sql, reason in report.skipped:
+            self.write(f"skipped: {sql!r} ({reason})")
+        if not report.used:
+            self.write(
+                "no recorded SELECTs to design from; run queries first "
+                "(e.g. via \\profile) so the designer has a workload"
+            )
+            return
+        try:
+            if args and args[0] == "apply":
+                run = designer.apply(self.cluster)
+                self.write(
+                    f"designer run {run.run_id}: {run.search_mode} search "
+                    f"over {run.candidates_scored} candidates, "
+                    f"est {run.estimated_seconds:.4f}s vs baseline "
+                    f"{run.baseline_seconds:.4f}s"
+                )
+                self.write(
+                    f"created: {', '.join(run.created) or '(none)'}; "
+                    f"dropped: {', '.join(run.dropped) or '(none)'}; "
+                    f"kept: {', '.join(run.kept) or '(none)'}"
+                )
+                return
+            proposals = designer.propose()
+        except ReproError as exc:
+            self.write(f"ERROR: {exc}")
+            return
+        if not proposals:
+            self.write("no proposals (workload has no usable table scans)")
+            return
+        for proposal in proposals:
+            self.write(proposal.to_sql())
+            for reason in proposal.reasons:
+                self.write(f"  -- {reason}")
+
     def _meta(self, command: str) -> bool:
         parts = command.split()
         name, args = parts[0], parts[1:]
@@ -233,6 +279,8 @@ class Shell:
             self._profile(" ".join(args))
         elif name == "\\doctor":
             self._doctor(args)
+        elif name == "\\design":
+            self._design(args)
         elif name == "\\kill" and args:
             try:
                 self.cluster.kill_node(args[0])

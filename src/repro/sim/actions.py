@@ -310,6 +310,98 @@ def _affected_rows(result) -> object:
 
 
 @dataclass(frozen=True)
+class Redesign:
+    """Run the cost-based designer mid-campaign and apply its winning
+    projections online: ingest the campaign's own recorded workload (plus
+    a fixed probe set so early steps have something to design from),
+    create the winning ``_dbd_v<n>`` projections, and atomically drop the
+    versions they supersede.  The probes then re-run against the redesigned
+    physical layout and are diffed against the oracle — each comparison is
+    logged via ``world.note_redesign_check`` so the
+    ``designer-digest-parity`` invariant audits every redesign the
+    campaign ran.  A redesign must never change query answers, only the
+    layouts that serve them.
+
+    Parameter-free and draws nothing from the generator's RNG streams, so
+    adding it to a menu cannot shift any other action's schedule.
+
+    Outcome extends the vocabulary with ``"kept"``: the designer ran but
+    the winning layouts already existed (idempotent re-run)."""
+
+    name = "redesign"
+
+    #: Fixed probe workload over the campaign table: an unfiltered count,
+    #: a group-by, and a selective range scan — enough signal for sort and
+    #: segmentation choices, and the post-apply parity checks.
+    PROBES = (
+        "select count(*) from {table}",
+        "select g, sum(v) s from {table} group by g",
+        "select sum(v) from {table} where k >= 1000",
+    )
+
+    def detail(self) -> str:
+        return ""
+
+    def apply(self, world) -> str:
+        from repro.engine.designer import DatabaseDesigner
+
+        cluster = world.cluster
+        if cluster.shut_down:
+            return "refused"
+        if cluster.refresh_degraded():
+            # Redesign creates and drops projections through commits; the
+            # outage gate would reject them all.
+            return "paused_outage"
+        probes = [t.format(table=world.table) for t in self.PROBES]
+        designer = DatabaseDesigner.for_cluster(cluster)
+        designer.ingest_recorded(cluster)
+        designer.add_workload(probes)
+        try:
+            run = designer.apply(cluster)
+        except StorageUnavailable:
+            return "storage_unavailable"
+        except TransientStorageError:
+            # A refresh load gave up mid-apply: the projection's txn never
+            # committed, so the catalog is unchanged and any uploaded files
+            # are protected by the writer's live instance-id prefix.
+            return "gave_up_transient"
+        except ObjectNotFound as exc:
+            raise InvariantViolation(
+                "catalog-storage",
+                world.seed,
+                world.step,
+                f"redesign read a missing object: {exc}",
+            )
+        except (CatalogError, ClusterError):
+            return "refused"
+        for sql in probes:
+            try:
+                actual = rows_key(cluster.query(sql))
+            except StorageUnavailable:
+                return "storage_unavailable"
+            except TransientStorageError:
+                return "gave_up_transient"
+            except ObjectNotFound as exc:
+                raise InvariantViolation(
+                    "catalog-storage",
+                    world.seed,
+                    world.step,
+                    f"post-redesign probe {sql!r} read a missing object: {exc}",
+                )
+            expected = world.oracle.query_rows(sql)
+            world.note_redesign_check(sql, actual, expected)
+            if actual != expected:
+                raise InvariantViolation(
+                    "oracle-equivalence",
+                    world.seed,
+                    world.step,
+                    f"post-redesign {sql!r}: cluster={actual[:4]} "
+                    f"oracle={expected[:4]}",
+                )
+        return "ok" if run.created or run.dropped else "kept"
+
+
+@dataclass(frozen=True)
 class KillNode:
     """Take a node down, optionally losing its local disk (cache + logs)."""
 

@@ -352,6 +352,29 @@ class PushdownScenarioGenerator(ScenarioGenerator):
         )
 
 
+class DesignerScenarioGenerator(ScenarioGenerator):
+    """The ``make designer-smoke`` configuration: the base chaos menu plus
+    a boosted ``redesign`` action — mid-campaign cost-based re-design,
+    applying versioned projections online and probing the redesigned
+    layouts against the oracle, feeding the ``designer-digest-parity``
+    invariant.  The action is parameter-free and consumes no
+    generator-RNG draws, so the base corpus's schedules are unshifted —
+    only campaigns run with *this* generator see redesigns.  Gated on no
+    active outage (redesign commits would all be rejected)."""
+
+    def _menu(self, world):
+        menu = super()._menu(world)
+        cluster = world.cluster
+        if cluster.shut_down:
+            return menu
+        if not cluster.shared.outage_active:
+            menu.append((10.0, self._redesign))
+        return menu
+
+    def _redesign(self, world) -> act.Redesign:
+        return act.Redesign()
+
+
 class NoisyNeighborScenarioGenerator(ScenarioGenerator):
     """Doctor scenario pack, tenant-contention flavor: boosted
     ``noisy_neighbor`` probes — closed-loop storms sized to saturate the

@@ -101,6 +101,10 @@ class SimWorld:
         #: injected condition actually bit; tests replay these through
         #: :func:`repro.obs.doctor.diagnose` and compare verdicts.
         self.doctor_probes: List[tuple] = []
+        #: Redesign parity log: (step, sql, match) entries written by the
+        #: ``redesign`` action (post-apply probe rows vs the oracle);
+        #: audited every step by the ``designer-digest-parity`` invariant.
+        self.redesign_checks: List[tuple] = []
         #: Attached lazily by the first ``autoscale_tick`` action; the
         #: ``autoscale-safety`` invariant audits it every later step.
         self.autoscaler = None
@@ -173,6 +177,16 @@ class SimWorld:
             (self.step, sql, pushdown_digest == depot_digest)
         )
         del self.pushdown_checks[:-256]
+
+    def note_redesign_check(self, sql: str, actual, expected) -> None:
+        """Record one post-redesign probe-vs-oracle digest comparison
+        (bounded log)."""
+        digest = hashlib.sha256(repr(actual).encode()).hexdigest()
+        oracle_digest = hashlib.sha256(repr(expected).encode()).hexdigest()
+        self.redesign_checks.append(
+            (self.step, sql, digest == oracle_digest)
+        )
+        del self.redesign_checks[:-256]
 
     def note_doctor_probe(self, request_id: int, expected_cause: str) -> None:
         """Record one overload probe whose injected condition landed

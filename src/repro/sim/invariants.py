@@ -268,6 +268,22 @@ def pushdown_digest_parity(world) -> Optional[str]:
     return None
 
 
+def designer_digest_parity(world) -> Optional[str]:
+    """Applying the designer mid-campaign changes physical layouts only,
+    never answers: every post-redesign probe the campaign logged matched
+    the oracle's rows (bounded log written by the ``redesign`` action)."""
+    checks = getattr(world, "redesign_checks", None)
+    if not checks:
+        return None
+    for step, sql, match in checks:
+        if not match:
+            return (
+                f"post-redesign probe diverged from the oracle at "
+                f"step {step}: {sql!r}"
+            )
+    return None
+
+
 def autoscale_safety(world) -> Optional[str]:
     """The actuator never strands the cluster mid-transition.
 
@@ -344,6 +360,7 @@ DEFAULT_INVARIANTS: Tuple[Tuple[str, Invariant], ...] = (
     ("batch-digest-parity", batch_digest_parity),
     ("autoscale-safety", autoscale_safety),
     ("pushdown-digest-parity", pushdown_digest_parity),
+    ("designer-digest-parity", designer_digest_parity),
 )
 
 

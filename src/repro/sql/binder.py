@@ -160,17 +160,20 @@ def _replace_matching(expr: Expr, target_repr: str, replacement: Expr) -> Expr:
 
 def bind_select(query: Select, catalog: CatalogState) -> BoundQuery:
     """Resolve and normalise a SELECT against ``catalog``."""
-    # 1. Resolve tables and build the column -> table map.
+    # 1. Resolve tables and build the column -> table map.  Tables may
+    # share column names: a shared name is only an error when the query
+    # actually references it (there is no qualified-reference syntax in
+    # this subset to disambiguate with).
     tables = [t.name for t in query.tables] + [j.table.name for j in query.joins]
     column_table: Dict[str, str] = {}
+    ambiguous: Dict[str, Tuple[str, str]] = {}
     for name in tables:
         table = catalog.table(name)  # raises CatalogError if missing
         for column in table.schema.columns:
-            if column.name in column_table:
-                raise SqlError(
-                    f"ambiguous column {column.name!r}: in both "
-                    f"{column_table[column.name]!r} and {name!r}"
-                )
+            owner = column_table.get(column.name)
+            if owner is not None and owner != name:
+                ambiguous.setdefault(column.name, (owner, name))
+                continue
             column_table[column.name] = name
 
     def table_of(expr: Expr) -> Optional[str]:
@@ -182,6 +185,12 @@ def bind_select(query: Select, catalog: CatalogState) -> BoundQuery:
 
     def check_resolved(expr: Expr) -> None:
         for c in expr.columns_used():
+            if c in ambiguous:
+                first, second = ambiguous[c]
+                raise SqlError(
+                    f"ambiguous column {c!r}: in both "
+                    f"{first!r} and {second!r}"
+                )
             if c not in column_table:
                 raise SqlError(f"unknown column {c!r}")
 
